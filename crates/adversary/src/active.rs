@@ -1,0 +1,328 @@
+//! Active adversaries (§3.2(b) of the paper).
+//!
+//! Three escalating capabilities, all implemented:
+//!
+//! 1. **Commercial-programmer replay** (§9, §10.3(a)): the adversary
+//!    records a real programmer's transmission, demodulates it to bits —
+//!    "to remove the channel noise" — and re-modulates a clean copy to
+//!    play back at FCC-compliant power.
+//! 2. **Custom hardware** (§10.3(b)): same waveforms at up to 100× (i.e.
+//!    +20 dB) the legal power, having reverse-engineered the protocol
+//!    (which in our model means forging frames directly).
+//! 3. **Evasion**: frequency hopping / multi-channel transmission to try
+//!    to slip past the shield's monitor (§7(c)), and transmitting
+//!    *concurrently with the shield's own message* to alter it via capture
+//!    (§3.2, §7).
+
+use hb_channel::medium::{AntennaId, Medium, Tick};
+use hb_channel::sim::Node;
+use hb_channel::txsched::TxScheduler;
+use hb_dsp::complex::C64;
+use hb_dsp::units::ratio_from_db;
+use hb_imd::commands::Command;
+use hb_phy::fsk::{FskModem, FskParams};
+use hb_phy::packet::{Frame, FrameType, Serial};
+
+/// Active attacker configuration.
+#[derive(Debug, Clone)]
+pub struct AttackerConfig {
+    /// Transmit power, dBm. FCC limit for the commercial-hardware
+    /// attacker; +20 dB for the "100×" custom-hardware attacker.
+    pub tx_power_dbm: f64,
+    /// FSK parameters (reverse-engineered from the IMD's air interface).
+    pub fsk: FskParams,
+}
+
+impl AttackerConfig {
+    /// Commercial IMD programmer profile: FCC-compliant power.
+    pub fn commercial_programmer() -> Self {
+        AttackerConfig {
+            tx_power_dbm: hb_mics::fcc_eirp_limit_dbm(),
+            fsk: FskParams::mics_default(),
+        }
+    }
+
+    /// Custom hardware at 100× the shield's power (+20 dB over FCC).
+    pub fn high_power_custom() -> Self {
+        AttackerConfig {
+            tx_power_dbm: hb_mics::fcc_eirp_limit_dbm() + 20.0,
+            fsk: FskParams::mics_default(),
+        }
+    }
+}
+
+/// The active attacker device.
+pub struct ActiveAttacker {
+    cfg: AttackerConfig,
+    antenna: AntennaId,
+    modem: FskModem,
+    tx: TxScheduler,
+    seq: u8,
+    /// Attack transmissions attempted.
+    pub attempts: u64,
+    /// Ground-truth log of (start_tick, end_tick, channel) per attempt.
+    pub tx_log: Vec<(Tick, Tick, usize)>,
+}
+
+impl ActiveAttacker {
+    /// Creates an attacker at `antenna`.
+    pub fn new(cfg: AttackerConfig, antenna: AntennaId) -> Self {
+        let modem = FskModem::new(cfg.fsk);
+        ActiveAttacker {
+            cfg,
+            antenna,
+            modem,
+            tx: TxScheduler::new(),
+            seq: 0x80,
+            attempts: 0,
+            tx_log: Vec::new(),
+        }
+    }
+
+    /// The attacker's antenna.
+    pub fn antenna(&self) -> AntennaId {
+        self.antenna
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AttackerConfig {
+        &self.cfg
+    }
+
+    fn scaled(&self, mut wave: Vec<C64>) -> Vec<C64> {
+        let amp = ratio_from_db(self.cfg.tx_power_dbm).sqrt();
+        for s in wave.iter_mut() {
+            *s = s.scale(amp);
+        }
+        wave
+    }
+
+    /// Forges a command frame to `serial` and schedules it at `start_tick`
+    /// on `channel` (the reverse-engineered-protocol attacker).
+    pub fn send_forged_command(
+        &mut self,
+        start_tick: Tick,
+        channel: usize,
+        serial: Serial,
+        cmd: Command,
+    ) {
+        self.seq = self.seq.wrapping_add(1);
+        let frame = Frame::new(serial, FrameType::Command, self.seq, cmd.to_payload());
+        let wave = self.scaled(self.modem.modulate(&frame.to_bits()));
+        let end = start_tick + wave.len() as Tick;
+        self.tx.schedule(start_tick, channel, wave);
+        self.tx_log.push((start_tick, end, channel));
+        self.attempts += 1;
+    }
+
+    /// The record→demodulate→re-modulate replay pipeline of §9: takes a
+    /// capture of a programmer transmission, recovers the clean bits
+    /// (returns `None` if the capture doesn't decode), and schedules a
+    /// noise-free replica. "Analog replaying of these captured signals
+    /// doubles their noise … so the adversary demodulates the programmer's
+    /// FSK signal into the transmitted bits to remove the channel noise."
+    pub fn replay_capture(
+        &mut self,
+        capture: &[C64],
+        start_tick: Tick,
+        channel: usize,
+    ) -> Option<Frame> {
+        let frame = self.modem.receive_frame(capture).ok()?;
+        let wave = self.scaled(self.modem.modulate(&frame.to_bits()));
+        let end = start_tick + wave.len() as Tick;
+        self.tx.schedule(start_tick, channel, wave);
+        self.tx_log.push((start_tick, end, channel));
+        self.attempts += 1;
+        Some(frame)
+    }
+
+    /// Frequency-hopping attack (§7(c)): sends the same forged command on
+    /// several channels back to back, `gap_ticks` apart.
+    pub fn send_hopping(
+        &mut self,
+        start_tick: Tick,
+        channels: &[usize],
+        gap_ticks: Tick,
+        serial: Serial,
+        cmd: Command,
+    ) {
+        let mut t = start_tick;
+        for &ch in channels {
+            self.send_forged_command(t, ch, serial, cmd);
+            let (_, end, _) = *self.tx_log.last().unwrap();
+            t = end + gap_ticks;
+        }
+    }
+
+    /// Raw waveform injection (capture-effect/alteration attacks overlay
+    /// arbitrary energy on top of someone else's transmission).
+    pub fn inject_waveform(&mut self, start_tick: Tick, channel: usize, wave: Vec<C64>) {
+        let scaled = self.scaled(wave);
+        let end = start_tick + scaled.len() as Tick;
+        self.tx.schedule(start_tick, channel, scaled);
+        self.tx_log.push((start_tick, end, channel));
+        self.attempts += 1;
+    }
+
+    /// End tick of the latest scheduled attack.
+    pub fn last_tx_end(&self) -> Option<Tick> {
+        self.tx_log.last().map(|&(_, end, _)| end)
+    }
+
+    /// True if a transmission is still pending or in flight.
+    pub fn transmitting(&self) -> bool {
+        !self.tx.is_idle()
+    }
+}
+
+impl Node for ActiveAttacker {
+    fn label(&self) -> &str {
+        "attacker"
+    }
+
+    fn produce(&mut self, medium: &mut Medium) {
+        self.tx.produce(self.antenna, medium);
+    }
+
+    fn consume(&mut self, _medium: &mut Medium) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_channel::geometry::Placement;
+    use hb_channel::medium::MediumConfig;
+    use hb_dsp::units::db_from_ratio;
+    use hb_imd::commands::Command;
+    use hb_phy::stream::{DetectorEvent, StreamingDetector};
+
+    fn medium() -> Medium {
+        Medium::new(
+            MediumConfig {
+                noise_floor_dbm: -120.0,
+                ..Default::default()
+            },
+            9,
+        )
+    }
+
+    fn run_and_record(
+        medium: &mut Medium,
+        atk: &mut ActiveAttacker,
+        rx_ant: AntennaId,
+        channel: usize,
+        blocks: u64,
+    ) -> Vec<C64> {
+        let mut rx = Vec::new();
+        for _ in 0..blocks {
+            atk.produce(medium);
+            rx.extend(medium.receive(rx_ant, channel));
+            medium.end_block();
+        }
+        rx
+    }
+
+    #[test]
+    fn forged_command_decodes_at_victim() {
+        let mut m = medium();
+        let atk_ant = m.add_antenna(Placement::los("atk", 1.0, 0.0));
+        let victim = m.add_antenna(Placement::los("victim", 0.0, 0.0));
+        m.set_gain(atk_ant, victim, C64::new(0.1, 0.0));
+        let mut atk = ActiveAttacker::new(AttackerConfig::commercial_programmer(), atk_ant);
+        let serial = Serial::from_str_padded("VIRTUOSO01");
+        atk.send_forged_command(0, 3, serial, Command::Interrogate);
+
+        let rx = run_and_record(&mut m, &mut atk, victim, 3, 800);
+        let mut det = StreamingDetector::new(FskParams::mics_default(), 4);
+        let mut got = None;
+        for b in rx.chunks(16) {
+            for e in det.push_block(b) {
+                if let DetectorEvent::FrameDone { result: Ok(f), .. } = e {
+                    got = Some(f);
+                }
+            }
+        }
+        let f = got.expect("victim decodes the forged frame");
+        assert_eq!(f.serial, serial);
+        assert_eq!(f.frame_type, FrameType::Command);
+        assert_eq!(atk.attempts, 1);
+    }
+
+    #[test]
+    fn replay_pipeline_produces_clean_copy() {
+        let mut m = medium();
+        let atk_ant = m.add_antenna(Placement::los("atk", 1.0, 0.0));
+        let mut atk = ActiveAttacker::new(AttackerConfig::commercial_programmer(), atk_ant);
+
+        // A "captured" programmer transmission with noise on it.
+        let modem = FskModem::new(FskParams::mics_default());
+        let serial = Serial::from_str_padded("CONCERTO02");
+        let frame = Frame::new(serial, FrameType::Command, 7, Command::ReadTherapy.to_payload());
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2);
+        let capture: Vec<C64> = modem
+            .modulate(&frame.to_bits())
+            .into_iter()
+            .map(|s| s.scale(0.01) + hb_dsp::noise::white_noise(&mut rng, 1, 1e-6)[0])
+            .collect();
+
+        let replayed = atk.replay_capture(&capture, 0, 0).expect("capture decodes");
+        assert_eq!(replayed, frame);
+        assert!(atk.transmitting());
+    }
+
+    #[test]
+    fn replay_of_garbage_fails_gracefully() {
+        let mut m = medium();
+        let atk_ant = m.add_antenna(Placement::los("atk", 1.0, 0.0));
+        let mut atk = ActiveAttacker::new(AttackerConfig::commercial_programmer(), atk_ant);
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let noise = hb_dsp::noise::white_noise(&mut rng, 5000, 1.0);
+        assert!(atk.replay_capture(&noise, 0, 0).is_none());
+        assert_eq!(atk.attempts, 0);
+    }
+
+    #[test]
+    fn high_power_profile_is_20db_hotter() {
+        let lo = AttackerConfig::commercial_programmer();
+        let hi = AttackerConfig::high_power_custom();
+        assert!((hi.tx_power_dbm - lo.tx_power_dbm - 20.0).abs() < 1e-9);
+        assert_eq!(
+            hb_mics::check_tx_power(hi.tx_power_dbm, false),
+            hb_mics::Compliance::OverPower
+        );
+    }
+
+    #[test]
+    fn transmit_power_on_air_matches_config() {
+        let mut m = medium();
+        let atk_ant = m.add_antenna(Placement::los("atk", 1.0, 0.0));
+        let victim = m.add_antenna(Placement::los("victim", 0.0, 0.0));
+        m.set_gain(atk_ant, victim, C64::ONE);
+        let mut atk = ActiveAttacker::new(AttackerConfig::high_power_custom(), atk_ant);
+        atk.send_forged_command(0, 0, Serial([1; 10]), Command::Interrogate);
+        let rx = run_and_record(&mut m, &mut atk, victim, 0, 400);
+        let body = &rx[100..4000];
+        let p = db_from_ratio(hb_dsp::complex::mean_power(body));
+        assert!((p - atk.cfg.tx_power_dbm).abs() < 0.5, "on-air {p} dBm");
+    }
+
+    #[test]
+    fn hopping_covers_all_channels_in_order() {
+        let mut m = medium();
+        let atk_ant = m.add_antenna(Placement::los("atk", 1.0, 0.0));
+        let mut atk = ActiveAttacker::new(AttackerConfig::commercial_programmer(), atk_ant);
+        atk.send_hopping(0, &[2, 5, 7], 100, Serial([2; 10]), Command::Interrogate);
+        assert_eq!(atk.attempts, 3);
+        assert_eq!(atk.tx_log.len(), 3);
+        let chans: Vec<usize> = atk.tx_log.iter().map(|&(_, _, c)| c).collect();
+        assert_eq!(chans, vec![2, 5, 7]);
+        // Non-overlapping, gap-separated.
+        for w in atk.tx_log.windows(2) {
+            assert!(w[1].0 >= w[0].1 + 100);
+        }
+    }
+}

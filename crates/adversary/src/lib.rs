@@ -1,0 +1,18 @@
+//! # hb-adversary — the threat models of §3.2
+//!
+//! * [`eavesdropper`] — a passive adversary with perfect timing knowledge
+//!   and the optimal noncoherent FSK decoder, recording everything on a
+//!   channel (the confidentiality threat).
+//! * [`active`] — active attackers: commercial-programmer replay
+//!   (record → demodulate → re-modulate clean), forged commands from
+//!   reverse-engineered protocol knowledge, 100×-power custom hardware,
+//!   frequency hopping, and concurrent-transmission alteration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod eavesdropper;
+
+pub use active::{ActiveAttacker, AttackerConfig};
+pub use eavesdropper::Eavesdropper;

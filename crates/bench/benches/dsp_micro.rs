@@ -1,0 +1,82 @@
+//! DSP microbenchmarks: the primitives on the simulator's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hb_dsp::complex::C64;
+use hb_dsp::fft::FftPlan;
+use hb_dsp::fir::{design_lowpass, StreamingFir};
+use hb_dsp::noise::{white_noise, ShapedNoise};
+use hb_dsp::spectrum::welch_psd;
+use hb_dsp::window::Window;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fft(c: &mut Criterion) {
+    let plan = FftPlan::new(256);
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = white_noise(&mut rng, 256, 1.0);
+    c.bench_function("fft_256", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            plan.forward(&mut buf);
+            black_box(buf)
+        })
+    });
+}
+
+fn bench_shaped_noise(c: &mut Criterion) {
+    let mut profile = vec![0.0; 256];
+    for p in profile.iter_mut().take(64).skip(32) {
+        *p = 1.0;
+    }
+    let gen = ShapedNoise::new(&profile);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("shaped_noise_block_256", |b| {
+        b.iter(|| black_box(gen.block(&mut rng)))
+    });
+}
+
+fn bench_welch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let sig = white_noise(&mut rng, 16_384, 1.0);
+    c.bench_function("welch_psd_16k", |b| {
+        b.iter(|| black_box(welch_psd(&sig, 256, Window::Hann, 300e3)))
+    });
+}
+
+fn bench_fir(c: &mut Criterion) {
+    let taps = design_lowpass(50e3, 300e3, 63, Window::Hamming);
+    let mut rng = StdRng::seed_from_u64(4);
+    let sig = white_noise(&mut rng, 4096, 1.0);
+    c.bench_function("streaming_fir_63tap_4k", |b| {
+        b.iter(|| {
+            let mut f = StreamingFir::from_real(&taps);
+            black_box(f.process(&sig))
+        })
+    });
+}
+
+fn bench_complex_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = white_noise(&mut rng, 4096, 1.0);
+    let b2 = white_noise(&mut rng, 4096, 1.0);
+    c.bench_function("inner_product_4k", |b| {
+        b.iter(|| black_box(hb_dsp::complex::inner_product(&a, &b2)))
+    });
+    let g = C64::new(0.6, -0.3);
+    c.bench_function("scale_mix_4k", |b| {
+        b.iter(|| {
+            let mut acc = vec![C64::ZERO; 4096];
+            for (o, (&x, &y)) in acc.iter_mut().zip(a.iter().zip(b2.iter())) {
+                *o = x * g + y;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_shaped_noise, bench_welch, bench_fir, bench_complex_ops
+);
+criterion_main!(benches);

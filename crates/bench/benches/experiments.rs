@@ -1,0 +1,136 @@
+//! One benchmark per table/figure of the paper (§10–§11).
+//!
+//! Each target runs a reduced-effort version of the corresponding
+//! experiment from `hb-testbed::experiments` — so `cargo bench --bench
+//! experiments` literally regenerates the paper's evaluation, with wall
+//! times attached. For paper-scale sample counts run
+//! `cargo run --release --example full_evaluation -- --full` instead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hb_testbed::experiments::{self, Effort};
+
+const SEED: u64 = 20110815;
+
+fn effort() -> Effort {
+    Effort::tiny()
+}
+
+fn fig3_timing(c: &mut Criterion) {
+    c.bench_function("fig3_timing", |b| {
+        b.iter(|| black_box(experiments::fig3::run(effort(), SEED)))
+    });
+}
+
+fn fig4_fsk_profile(c: &mut Criterion) {
+    c.bench_function("fig4_fsk_profile", |b| {
+        b.iter(|| black_box(experiments::fig4::run(effort(), SEED)))
+    });
+}
+
+fn fig5_jam_profile(c: &mut Criterion) {
+    c.bench_function("fig5_jam_profile", |b| {
+        b.iter(|| black_box(experiments::fig5::run(effort(), SEED)))
+    });
+}
+
+fn fig7_cancellation(c: &mut Criterion) {
+    c.bench_function("fig7_cancellation", |b| {
+        b.iter(|| black_box(experiments::fig7::run(effort(), SEED)))
+    });
+}
+
+fn fig8_tradeoff(c: &mut Criterion) {
+    // One representative margin point per iteration (the full sweep is the
+    // experiment itself).
+    c.bench_function("fig8_tradeoff_point", |b| {
+        b.iter(|| black_box(experiments::fig8::run_margin_point(20.0, 3, SEED)))
+    });
+}
+
+fn fig9_eavesdropper_ber(c: &mut Criterion) {
+    c.bench_function("fig9_eavesdropper_ber_loc1", |b| {
+        b.iter(|| black_box(experiments::fig9::ber_at_location(1, 3, SEED)))
+    });
+}
+
+fn fig10_shield_loss(c: &mut Criterion) {
+    c.bench_function("fig10_shield_loss_run", |b| {
+        b.iter(|| black_box(experiments::fig10::one_run(3, SEED)))
+    });
+}
+
+fn fig11_battery_attack(c: &mut Criterion) {
+    use experiments::fig11::{attack_once, AttackGoal};
+    use hb_adversary::active::AttackerConfig;
+    let cfg = AttackerConfig::commercial_programmer();
+    c.bench_function("fig11_battery_attack_pair", |b| {
+        b.iter(|| {
+            let off = attack_once(1, false, &cfg, AttackGoal::ElicitReply, SEED);
+            let on = attack_once(1, true, &cfg, AttackGoal::ElicitReply, SEED);
+            black_box((off.success, on.success))
+        })
+    });
+}
+
+fn fig12_therapy_attack(c: &mut Criterion) {
+    use experiments::fig11::{attack_once, AttackGoal};
+    use hb_adversary::active::AttackerConfig;
+    let cfg = AttackerConfig::commercial_programmer();
+    c.bench_function("fig12_therapy_attack_pair", |b| {
+        b.iter(|| {
+            let off = attack_once(2, false, &cfg, AttackGoal::ChangeTherapy, SEED);
+            let on = attack_once(2, true, &cfg, AttackGoal::ChangeTherapy, SEED);
+            black_box((off.success, on.success))
+        })
+    });
+}
+
+fn fig13_high_power(c: &mut Criterion) {
+    use experiments::fig11::{attack_once, AttackGoal};
+    use hb_adversary::active::AttackerConfig;
+    let cfg = AttackerConfig::high_power_custom();
+    c.bench_function("fig13_high_power_pair", |b| {
+        b.iter(|| {
+            let off = attack_once(13, false, &cfg, AttackGoal::ChangeTherapy, SEED);
+            let on = attack_once(1, true, &cfg, AttackGoal::ChangeTherapy, SEED);
+            black_box((off.success, on.success, on.alarm))
+        })
+    });
+}
+
+fn table1_pthresh(c: &mut Criterion) {
+    c.bench_function("table1_pthresh_attempt", |b| {
+        b.iter(|| black_box(experiments::table1::attempt(6.0, SEED)))
+    });
+}
+
+fn table2_coexistence(c: &mut Criterion) {
+    c.bench_function("table2_coexistence", |b| {
+        b.iter(|| black_box(experiments::table2::run(Effort::tiny(), SEED)))
+    });
+}
+
+fn ablations(c: &mut Criterion) {
+    c.bench_function("ablation_jam_shape", |b| {
+        b.iter(|| black_box(experiments::ablation::jam_shape(Effort::tiny(), SEED)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_timing,
+        fig4_fsk_profile,
+        fig5_jam_profile,
+        fig7_cancellation,
+        fig8_tradeoff,
+        fig9_eavesdropper_ber,
+        fig10_shield_loss,
+        fig11_battery_attack,
+        fig12_therapy_attack,
+        fig13_high_power,
+        table1_pthresh,
+        table2_coexistence,
+        ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! PHY microbenchmarks: the modem and detector paths every simulated
+//! device runs per block.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hb_phy::bits::Prbs;
+use hb_phy::fsk::{FskModem, FskParams};
+use hb_phy::matcher::SidMatcher;
+use hb_phy::packet::{identifying_sequence, Frame, FrameType, Serial};
+use hb_phy::stream::{SidMonitor, StreamingDetector};
+
+fn bench_fsk_modulate(c: &mut Criterion) {
+    let m = FskModem::new(FskParams::mics_default());
+    let mut prbs = Prbs::new(0x11);
+    let bits = prbs.bits(256);
+    c.bench_function("fsk_modulate_256b", |b| {
+        b.iter(|| black_box(m.modulate(&bits)))
+    });
+}
+
+fn bench_fsk_demodulate(c: &mut Criterion) {
+    let m = FskModem::new(FskParams::mics_default());
+    let mut prbs = Prbs::new(0x22);
+    let sig = m.modulate(&prbs.bits(256));
+    c.bench_function("fsk_demodulate_256b", |b| {
+        b.iter(|| black_box(m.demodulate(&sig)))
+    });
+}
+
+fn bench_streaming_detector(c: &mut Criterion) {
+    let m = FskModem::new(FskParams::mics_default());
+    let frame = Frame::new(
+        Serial::from_str_padded("VIRTUOSO01"),
+        FrameType::Command,
+        1,
+        vec![1, 2, 3],
+    );
+    let mut sig = vec![hb_dsp::C64::ZERO; 128];
+    sig.extend(m.modulate(&frame.to_bits()));
+    sig.extend(vec![hb_dsp::C64::ZERO; 128]);
+    c.bench_function("streaming_detector_one_frame", |b| {
+        b.iter(|| {
+            let mut det = StreamingDetector::new(FskParams::mics_default(), 4);
+            let mut events = 0;
+            for block in sig.chunks(16) {
+                events += det.push_block(block).len();
+            }
+            black_box(events)
+        })
+    });
+}
+
+fn bench_sid_monitor(c: &mut Criterion) {
+    let m = FskModem::new(FskParams::mics_default());
+    let frame = Frame::new(
+        Serial::from_str_padded("VIRTUOSO01"),
+        FrameType::Command,
+        1,
+        vec![7; 8],
+    );
+    let sig = m.modulate(&frame.to_bits());
+    let sid = identifying_sequence(Serial::from_str_padded("VIRTUOSO01"));
+    c.bench_function("sid_monitor_one_frame", |b| {
+        b.iter(|| {
+            let mut mon = SidMonitor::new(FskParams::mics_default(), sid.clone(), 4);
+            let mut hits = 0;
+            for block in sig.chunks(16) {
+                if mon.push_block(block).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_sid_matcher(c: &mut Criterion) {
+    let sid = identifying_sequence(Serial::from_str_padded("VIRTUOSO01"));
+    let mut prbs = Prbs::new(0x3C);
+    let stream = prbs.bits(10_000);
+    c.bench_function("sid_matcher_10k_bits", |b| {
+        b.iter(|| {
+            let mut m = SidMatcher::new(sid.clone(), 4);
+            black_box(m.push_all(&stream))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fsk_modulate,
+        bench_fsk_demodulate,
+        bench_streaming_detector,
+        bench_sid_monitor,
+        bench_sid_matcher
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Shield microbenchmarks: the full-duplex and relay hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hb_imd::commands::Command;
+use hb_phy::fsk::FskParams;
+use hb_shield::fullduplex::{CouplingConfig, FullDuplex};
+use hb_shield::jamsignal::JamSignal;
+use hb_testbed::experiments::relay_one_exchange;
+use hb_testbed::scenario::{ScenarioBuilder, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_antidote(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (hs, hjr) = CouplingConfig::usrp2_prototype().draw_gains(&mut rng);
+    let mut fd = FullDuplex::new(hs, hjr);
+    fd.estimate(32.0, &mut rng);
+    let j: Vec<hb_dsp::C64> = (0..4096).map(|k| hb_dsp::C64::cis(k as f64 * 0.3)).collect();
+    c.bench_function("antidote_4k", |b| b.iter(|| black_box(fd.antidote(&j))));
+}
+
+fn bench_jam_generation(c: &mut Criterion) {
+    let mut jam = JamSignal::shaped_for_fsk(FskParams::mics_default(), 256);
+    jam.set_power_dbm(-35.0);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("jam_next_4k_samples", |b| {
+        b.iter(|| black_box(jam.next_samples(&mut rng, 4096)))
+    });
+}
+
+fn bench_jammer_construction(c: &mut Criterion) {
+    c.bench_function("jam_shaped_for_fsk_construct", |b| {
+        b.iter(|| black_box(JamSignal::shaped_for_fsk(FskParams::mics_default(), 256)))
+    });
+}
+
+fn bench_relay_exchange(c: &mut Criterion) {
+    // One full 60 ms relayed interrogation: command + jammed reply +
+    // decode, the unit of every protection experiment.
+    c.bench_function("relay_exchange_60ms_sim", |b| {
+        b.iter(|| {
+            let mut scenario = ScenarioBuilder::new(ScenarioConfig::paper(9)).build();
+            relay_one_exchange(&mut scenario, &mut [], Command::Interrogate);
+            black_box(scenario.shield.as_ref().unwrap().stats.imd_frames_ok)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_antidote, bench_jam_generation, bench_jammer_construction, bench_relay_exchange
+);
+criterion_main!(benches);

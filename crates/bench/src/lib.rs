@@ -1,0 +1,15 @@
+//! # hb-bench — benchmark harness
+//!
+//! Criterion benches live under `benches/`:
+//!
+//! * `dsp_micro` — FFT, shaped-noise generation, Welch PSD, filtering.
+//! * `phy_micro` — FSK modulation/demodulation, streaming detection,
+//!   Sid matching.
+//! * `shield_micro` — antidote computation, jam generation, a full
+//!   relay-exchange simulation step.
+//! * `experiments` — one benchmark per paper table/figure, each running a
+//!   reduced-effort version of the corresponding experiment and asserting
+//!   its headline property, so `cargo bench` regenerates the whole
+//!   evaluation (see EXPERIMENTS.md for paper-scale runs).
+
+#![forbid(unsafe_code)]

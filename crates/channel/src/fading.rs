@@ -1,0 +1,188 @@
+//! Small-scale fading: complex link gains with Rayleigh/Rician statistics,
+//! and a tapped-delay-line multipath channel for the wideband (OFDM)
+//! extension.
+//!
+//! The paper's experiments are static (nothing moves during a run), so the
+//! medium draws one complex gain per link per run. Indoor links with line
+//! of sight are Rician (strong direct path plus scatter); heavily
+//! obstructed links approach Rayleigh.
+
+use hb_dsp::complex::C64;
+use hb_dsp::noise::complex_gaussian;
+use rand::Rng;
+
+/// Small-scale fading statistics for a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fading {
+    /// No fading: deterministic gain with uniform random phase.
+    None,
+    /// Rician fading with the given K-factor (ratio of direct-path power
+    /// to scattered power, linear). K → ∞ approaches `None`.
+    Rician(f64),
+    /// Rayleigh fading (no direct path) — equivalent to `Rician(0)`.
+    Rayleigh,
+}
+
+impl Fading {
+    /// Draws a unit-mean-power complex gain with these statistics.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> C64 {
+        match *self {
+            Fading::None => C64::from_polar(1.0, rng.gen::<f64>() * std::f64::consts::TAU),
+            Fading::Rayleigh => complex_gaussian(rng, 1.0),
+            Fading::Rician(k) => {
+                assert!(k >= 0.0, "Rician K must be non-negative");
+                // Direct path carries k/(k+1) of the power, scatter 1/(k+1).
+                let direct = C64::from_polar(
+                    (k / (k + 1.0)).sqrt(),
+                    rng.gen::<f64>() * std::f64::consts::TAU,
+                );
+                direct + complex_gaussian(rng, 1.0 / (k + 1.0))
+            }
+        }
+    }
+}
+
+/// A static tapped-delay-line multipath channel (for wideband/OFDM
+/// experiments; narrowband MICS links use a single tap).
+#[derive(Debug, Clone)]
+pub struct MultipathChannel {
+    /// Complex tap gains; tap `i` has a delay of `i` samples.
+    pub taps: Vec<C64>,
+}
+
+impl MultipathChannel {
+    /// A single-tap (flat) channel.
+    pub fn flat(gain: C64) -> Self {
+        MultipathChannel { taps: vec![gain] }
+    }
+
+    /// Draws an exponentially-decaying power-delay profile with `n_taps`
+    /// taps and decay constant `decay` (power ratio between successive
+    /// taps), normalized to unit total power.
+    pub fn random_exponential<R: Rng + ?Sized>(n_taps: usize, decay: f64, rng: &mut R) -> Self {
+        assert!(n_taps >= 1 && decay > 0.0 && decay <= 1.0);
+        let mut taps = Vec::with_capacity(n_taps);
+        let mut p = 1.0;
+        for _ in 0..n_taps {
+            taps.push(complex_gaussian(rng, p));
+            p *= decay;
+        }
+        let total: f64 = taps.iter().map(|t| t.norm_sq()).sum();
+        let k = 1.0 / total.sqrt();
+        for t in taps.iter_mut() {
+            *t = t.scale(k);
+        }
+        MultipathChannel { taps }
+    }
+
+    /// Applies the channel by linear convolution; output has
+    /// `input.len() + taps.len() - 1` samples.
+    pub fn apply(&self, input: &[C64]) -> Vec<C64> {
+        let mut out = vec![C64::ZERO; input.len() + self.taps.len() - 1];
+        for (i, &x) in input.iter().enumerate() {
+            for (j, &h) in self.taps.iter().enumerate() {
+                out[i + j] += x * h;
+            }
+        }
+        out
+    }
+
+    /// Delay spread in samples (last tap index).
+    pub fn delay_spread(&self) -> usize {
+        self.taps.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_has_unit_magnitude_random_phase() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut phases = Vec::new();
+        for _ in 0..100 {
+            let g = Fading::None.draw(&mut rng);
+            assert!((g.abs() - 1.0).abs() < 1e-12);
+            phases.push(g.arg());
+        }
+        // Phases spread over the circle.
+        let spread = phases.iter().cloned().fold(f64::MIN, f64::max)
+            - phases.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 3.0);
+    }
+
+    #[test]
+    fn rayleigh_unit_mean_power() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let p: f64 = (0..n)
+            .map(|_| Fading::Rayleigh.draw(&mut rng).norm_sq())
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 1.0).abs() < 0.03, "power {p}");
+    }
+
+    #[test]
+    fn rician_unit_mean_power_and_lower_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let k = 10.0;
+        let powers: Vec<f64> = (0..n)
+            .map(|_| Fading::Rician(k).draw(&mut rng).norm_sq())
+            .collect();
+        let mean = powers.iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.03, "power {mean}");
+        // High-K Rician has much smaller power variance than Rayleigh.
+        let var = powers.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n as f64;
+        assert!(var < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn rician_zero_k_is_rayleigh_like() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let p: f64 = (0..n)
+            .map(|_| Fading::Rician(0.0).draw(&mut rng).norm_sq())
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn multipath_unit_power_normalization() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let ch = MultipathChannel::random_exponential(8, 0.5, &mut rng);
+            let total: f64 = ch.taps.iter().map(|t| t.norm_sq()).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert_eq!(ch.delay_spread(), 7);
+        }
+    }
+
+    #[test]
+    fn flat_channel_scales_input() {
+        let ch = MultipathChannel::flat(C64::new(0.0, 2.0));
+        let out = ch.apply(&[C64::ONE, C64::new(1.0, 1.0)]);
+        assert_eq!(out.len(), 2);
+        assert!((out[0] - C64::new(0.0, 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_length_and_superposition() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ch = MultipathChannel::random_exponential(4, 0.7, &mut rng);
+        let a = vec![C64::ONE; 10];
+        let b = vec![C64::J; 10];
+        let sum: Vec<C64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let ya = ch.apply(&a);
+        let yb = ch.apply(&b);
+        let ysum = ch.apply(&sum);
+        assert_eq!(ya.len(), 13);
+        for i in 0..13 {
+            assert!((ysum[i] - (ya[i] + yb[i])).abs() < 1e-12);
+        }
+    }
+}

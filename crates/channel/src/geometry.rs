@@ -1,0 +1,102 @@
+//! Planar geometry for the testbed: positions, distances, line-of-sight.
+//!
+//! The paper's evaluation (Fig. 6) places the IMD and shield at fixed spots
+//! in an office and moves the adversary among 18 numbered locations between
+//! 20 cm and 30 m away, some line-of-sight and some not. We model positions
+//! in a 2-D plane with an explicit LOS flag per location (the original
+//! floor plan's walls are not published, so obstruction is declared rather
+//! than ray-traced).
+
+/// A point in the 2-D testbed plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate, meters.
+    pub x: f64,
+    /// Y coordinate, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point, meters.
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// A named placement in the testbed.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Human-readable name ("shield", "adversary-7", …).
+    pub label: String,
+    /// Position in meters.
+    pub position: Point,
+    /// Whether this placement has line of sight to the IMD/shield cluster.
+    /// Non-LOS placements incur the NLOS pathloss penalty.
+    pub line_of_sight: bool,
+    /// Whether the antenna is inside body tissue (the IMD's is; signals
+    /// crossing the body boundary incur the in-body loss).
+    pub in_body: bool,
+}
+
+impl Placement {
+    /// Convenience constructor for an on-air, line-of-sight placement.
+    pub fn los(label: &str, x: f64, y: f64) -> Self {
+        Placement {
+            label: label.to_string(),
+            position: Point::new(x, y),
+            line_of_sight: true,
+            in_body: false,
+        }
+    }
+
+    /// Convenience constructor for a non-line-of-sight placement.
+    pub fn nlos(label: &str, x: f64, y: f64) -> Self {
+        Placement {
+            label: label.to_string(),
+            position: Point::new(x, y),
+            line_of_sight: false,
+            in_body: false,
+        }
+    }
+
+    /// Marks the placement as implanted (in body tissue).
+    pub fn implanted(mut self) -> Self {
+        self.in_body = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((b.distance(&a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(1.5, -2.5);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn placement_constructors() {
+        let p = Placement::los("eve", 1.0, 2.0);
+        assert!(p.line_of_sight);
+        assert!(!p.in_body);
+        let q = Placement::nlos("eve2", 0.0, 0.0);
+        assert!(!q.line_of_sight);
+        let imd = Placement::los("imd", 0.0, 0.0).implanted();
+        assert!(imd.in_body);
+    }
+}

@@ -1,0 +1,565 @@
+//! The shared wireless medium: a sample-level, block-stepped simulation of
+//! concurrent transmissions at complex baseband.
+//!
+//! This module replaces the paper's physical testbed (USRP radios in a
+//! room). Its model is exactly the one the paper's analysis assumes:
+//! *"the wireless channel creates linear combinations of concurrently
+//! transmitted signals"* (§6). Every receive antenna observes
+//!
+//! ```text
+//! y_rx[t] = Σ_tx H(tx→rx) · x_tx[t]  +  n_rx[t]
+//! ```
+//!
+//! with complex link gains `H` derived from the pathloss/fading models (or
+//! set explicitly for wired couplings like the shield's self-loop `Hself`)
+//! and white Gaussian receiver noise at each antenna's noise floor.
+//!
+//! Time advances in fixed-size blocks (default 16 samples ≈ 53 µs at
+//! 300 kHz). Each block has two phases: first every device *stages* its
+//! transmissions, then every device *receives* the mixed waveform. The
+//! one-block reaction latency this imposes is physical — real receivers
+//! also process in buffers. Mid-packet reactions (the shield's
+//! detect-then-jam) happen at block granularity.
+//!
+//! The 3 MHz MICS band is modeled as `n_channels` independent 300 kHz
+//! channels — the per-channel-filter front end of §7(c). A transmission is
+//! tagged with its channel; receivers subscribe per channel.
+
+use crate::fading::Fading;
+use crate::geometry::Placement;
+use crate::pathloss::PathlossModel;
+use hb_dsp::complex::C64;
+use hb_dsp::noise::white_noise;
+use hb_dsp::units::ratio_from_db;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Identifies one antenna registered with the medium.
+pub type AntennaId = usize;
+
+/// A sample-count timestamp.
+pub type Tick = u64;
+
+/// Medium configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MediumConfig {
+    /// Per-channel complex baseband sample rate, Hz.
+    pub fs_hz: f64,
+    /// Samples per simulation block.
+    pub block_len: usize,
+    /// Number of 300 kHz MICS channels simulated.
+    pub n_channels: usize,
+    /// Default receiver noise floor, dBm (thermal + noise figure over one
+    /// channel bandwidth). Per-antenna overrides available.
+    pub noise_floor_dbm: f64,
+}
+
+impl Default for MediumConfig {
+    fn default() -> Self {
+        MediumConfig {
+            fs_hz: 300e3,
+            block_len: 16,
+            // FCC divides the 3 MHz MICS band into 10 channels (§2).
+            n_channels: 10,
+            // Thermal floor of a 300 kHz channel (-119 dBm) plus a 7 dB
+            // receiver noise figure.
+            noise_floor_dbm: -112.0,
+        }
+    }
+}
+
+struct StagedTx {
+    tx: AntennaId,
+    channel: usize,
+    samples: Vec<C64>,
+}
+
+/// The shared medium. See the module docs for the model.
+pub struct Medium {
+    cfg: MediumConfig,
+    placements: Vec<Placement>,
+    /// Per-antenna noise floor, linear power (1.0 ≡ 0 dBm).
+    noise_floor: Vec<f64>,
+    /// Per-antenna oscillator offset, Hz (transmissions rotate at this
+    /// rate relative to the nominal carrier).
+    cfo_hz: Vec<f64>,
+    /// Impulsive interference: (probability per block, power linear).
+    impulse: Option<(f64, f64)>,
+    /// Directed link gains; `(a, b)` is the gain from `a`'s transmitter to
+    /// `b`'s receiver. Reciprocal by construction unless overridden.
+    gains: HashMap<(AntennaId, AntennaId), C64>,
+    block_index: u64,
+    staged: Vec<StagedTx>,
+    rx_cache: HashMap<(AntennaId, usize), Vec<C64>>,
+    /// Set once any receive happens in the block; staging is then frozen.
+    receiving: bool,
+    rng: StdRng,
+}
+
+impl Medium {
+    /// Creates an empty medium.
+    pub fn new(cfg: MediumConfig, seed: u64) -> Self {
+        assert!(cfg.block_len > 0 && cfg.n_channels > 0);
+        Medium {
+            cfg,
+            placements: Vec::new(),
+            noise_floor: Vec::new(),
+            cfo_hz: Vec::new(),
+            impulse: None,
+            gains: HashMap::new(),
+            block_index: 0,
+            staged: Vec::new(),
+            rx_cache: HashMap::new(),
+            receiving: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MediumConfig {
+        &self.cfg
+    }
+
+    /// Registers an antenna at a placement; returns its id.
+    pub fn add_antenna(&mut self, placement: Placement) -> AntennaId {
+        self.placements.push(placement);
+        self.noise_floor
+            .push(ratio_from_db(self.cfg.noise_floor_dbm));
+        self.cfo_hz.push(0.0);
+        self.placements.len() - 1
+    }
+
+    /// Sets an antenna's oscillator offset, Hz. Its transmissions rotate
+    /// at this rate relative to the nominal carrier — receivers with a
+    /// different offset see the difference as a carrier frequency offset
+    /// (§6(a) of the paper notes the shield compensates for the CFO
+    /// between its RF chain and the IMD's).
+    pub fn set_cfo_hz(&mut self, a: AntennaId, hz: f64) {
+        self.cfo_hz[a] = hz;
+    }
+
+    /// Enables impulsive interference: with probability `prob` per block,
+    /// a receiver sees an extra white burst at `power_dbm` for that block
+    /// (drawn independently per receiver) — a fault-injection hook for
+    /// robustness experiments (microwave ovens, ISM neighbours, and other
+    /// non-Gaussian RF life).
+    pub fn set_impulse_noise(&mut self, prob: f64, power_dbm: f64) {
+        assert!((0.0..=1.0).contains(&prob));
+        self.impulse = Some((prob, ratio_from_db(power_dbm)));
+    }
+
+    /// Number of registered antennas.
+    pub fn antenna_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// The placement of an antenna.
+    pub fn placement(&self, a: AntennaId) -> &Placement {
+        &self.placements[a]
+    }
+
+    /// Overrides an antenna's noise floor in dBm.
+    pub fn set_noise_floor_dbm(&mut self, a: AntennaId, dbm: f64) {
+        self.noise_floor[a] = ratio_from_db(dbm);
+    }
+
+    /// Computes link gains for every antenna pair from a pathloss model and
+    /// fading statistics (reciprocal: `H(a→b) = H(b→a)`). Self-links stay
+    /// absent (zero) unless set explicitly with [`Medium::set_gain`] — a
+    /// normal antenna does not hear itself through the air model; the
+    /// shield's receive-antenna self-loop is a wired coupling set by its
+    /// device model.
+    ///
+    /// Call after all antennas are registered; explicit gains set *before*
+    /// this call are preserved.
+    pub fn build_links(&mut self, model: &PathlossModel, fading: Fading) {
+        let n = self.placements.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.gains.contains_key(&(a, b)) || self.gains.contains_key(&(b, a)) {
+                    continue;
+                }
+                let loss_db =
+                    model.link_loss_db_shadowed(&self.placements[a], &self.placements[b], &mut self.rng);
+                let amplitude = ratio_from_db(-loss_db).sqrt();
+                let gain = fading.draw(&mut self.rng).scale(amplitude);
+                self.gains.insert((a, b), gain);
+                self.gains.insert((b, a), gain);
+            }
+        }
+    }
+
+    /// Sets a directed link gain explicitly (used for the shield's wired
+    /// self-loop `Hself` and the jam→receive antenna coupling `Hjam→rec`).
+    pub fn set_gain(&mut self, tx: AntennaId, rx: AntennaId, gain: C64) {
+        self.gains.insert((tx, rx), gain);
+    }
+
+    /// The current gain from `tx` to `rx` (zero if no link).
+    pub fn gain(&self, tx: AntennaId, rx: AntennaId) -> C64 {
+        self.gains.get(&(tx, rx)).copied().unwrap_or(C64::ZERO)
+    }
+
+    /// Current block index.
+    pub fn block_index(&self) -> u64 {
+        self.block_index
+    }
+
+    /// Current time in samples (start of the current block).
+    pub fn tick(&self) -> Tick {
+        self.block_index * self.cfg.block_len as u64
+    }
+
+    /// Current time in seconds (start of the current block).
+    pub fn time_s(&self) -> f64 {
+        self.tick() as f64 / self.cfg.fs_hz
+    }
+
+    /// Converts a duration in seconds to whole blocks (rounding up).
+    pub fn blocks_for_duration(&self, seconds: f64) -> u64 {
+        let samples = seconds * self.cfg.fs_hz;
+        (samples / self.cfg.block_len as f64).ceil() as u64
+    }
+
+    /// Stages a transmission for the current block. `samples` must not
+    /// exceed the block length; shorter bursts are zero-padded (a packet's
+    /// final partial block).
+    ///
+    /// # Panics
+    /// Panics if called after any receive in the same block, if the channel
+    /// is out of range, or if the burst exceeds the block length.
+    pub fn transmit(&mut self, tx: AntennaId, channel: usize, samples: &[C64]) {
+        assert!(
+            !self.receiving,
+            "transmit after receive in the same block: stage all transmissions first"
+        );
+        assert!(channel < self.cfg.n_channels, "channel {channel} out of range");
+        assert!(
+            samples.len() <= self.cfg.block_len,
+            "burst of {} exceeds block length {}",
+            samples.len(),
+            self.cfg.block_len
+        );
+        assert!(tx < self.placements.len(), "unknown antenna {tx}");
+        let mut buf = samples.to_vec();
+        buf.resize(self.cfg.block_len, C64::ZERO);
+        self.staged.push(StagedTx {
+            tx,
+            channel,
+            samples: buf,
+        });
+    }
+
+    /// Receives the current block at an antenna on a channel: the
+    /// gain-weighted sum of all staged transmissions plus receiver noise.
+    /// Idempotent within a block (the same noise is returned on repeat
+    /// calls). Freezes staging for the rest of the block.
+    pub fn receive(&mut self, rx: AntennaId, channel: usize) -> Vec<C64> {
+        assert!(channel < self.cfg.n_channels, "channel {channel} out of range");
+        assert!(rx < self.placements.len(), "unknown antenna {rx}");
+        self.receiving = true;
+        if let Some(cached) = self.rx_cache.get(&(rx, channel)) {
+            return cached.clone();
+        }
+        let mut buf = white_noise(&mut self.rng, self.cfg.block_len, self.noise_floor[rx]);
+        // Impulsive interference (if enabled) hits all receivers alike;
+        // draw once per (block, channel) via a cached decision keyed into
+        // the rng stream deterministically.
+        if let Some((prob, power)) = self.impulse {
+            if self.rng.gen::<f64>() < prob {
+                for (v, n) in buf
+                    .iter_mut()
+                    .zip(white_noise(&mut self.rng, self.cfg.block_len, power))
+                {
+                    *v += n;
+                }
+            }
+        }
+        let block_start = self.tick();
+        for tx in self.staged.iter().filter(|t| t.channel == channel) {
+            let g = self.gains.get(&(tx.tx, rx)).copied().unwrap_or(C64::ZERO);
+            if g == C64::ZERO {
+                continue;
+            }
+            // Relative oscillator rotation between transmitter and receiver.
+            let dcfo = self.cfo_hz[tx.tx] - self.cfo_hz[rx];
+            if dcfo == 0.0 {
+                for (i, &s) in tx.samples.iter().enumerate() {
+                    buf[i] += s * g;
+                }
+            } else {
+                let w = std::f64::consts::TAU * dcfo / self.cfg.fs_hz;
+                for (i, &s) in tx.samples.iter().enumerate() {
+                    let phase = w * (block_start + i as u64) as f64;
+                    buf[i] += s * g * C64::cis(phase);
+                }
+            }
+        }
+        self.rx_cache.insert((rx, channel), buf.clone());
+        buf
+    }
+
+    /// True if any transmission is staged on `channel` this block
+    /// (omniscient view — used by tests and by the observer harness, not by
+    /// in-world devices).
+    pub fn channel_active(&self, channel: usize) -> bool {
+        self.staged.iter().any(|t| t.channel == channel)
+    }
+
+    /// Total staged transmit power on a channel this block (omniscient
+    /// debugging/observer view).
+    pub fn staged_power(&self, channel: usize) -> f64 {
+        self.staged
+            .iter()
+            .filter(|t| t.channel == channel)
+            .map(|t| hb_dsp::complex::mean_power(&t.samples))
+            .sum()
+    }
+
+    /// Finishes the block: clears staging and caches, advances time.
+    pub fn end_block(&mut self) {
+        self.staged.clear();
+        self.rx_cache.clear();
+        self.receiving = false;
+        self.block_index += 1;
+    }
+
+    /// Direct access to the medium's RNG (for device models that want to
+    /// derive seeds deterministically from the scenario seed).
+    pub fn fork_rng(&mut self) -> StdRng {
+        StdRng::seed_from_u64(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_dsp::complex::mean_power;
+    use hb_dsp::units::db_from_ratio;
+
+    fn quiet_medium() -> Medium {
+        let cfg = MediumConfig {
+            noise_floor_dbm: -200.0, // effectively noiseless for exact checks
+            ..MediumConfig::default()
+        };
+        Medium::new(cfg, 7)
+    }
+
+    #[test]
+    fn receive_is_gain_weighted_sum() {
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        let c = m.add_antenna(Placement::los("c", 2.0, 0.0));
+        m.set_gain(a, c, C64::new(0.5, 0.0));
+        m.set_gain(b, c, C64::new(0.0, 0.25));
+
+        let xa = vec![C64::ONE; 16];
+        let xb = vec![C64::new(2.0, 0.0); 16];
+        m.transmit(a, 0, &xa);
+        m.transmit(b, 0, &xb);
+        let y = m.receive(c, 0);
+        for s in &y {
+            assert!((*s - C64::new(0.5, 0.5)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        m.set_gain(a, b, C64::ONE);
+        m.transmit(a, 3, &vec![C64::ONE; 16]);
+        let y0 = m.receive(b, 0);
+        let y3 = m.receive(b, 3);
+        assert!(mean_power(&y0) < 1e-12, "channel 0 should be silent");
+        assert!((mean_power(&y3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_link_means_no_signal() {
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+        let y = m.receive(b, 0);
+        assert!(mean_power(&y) < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_only_when_set() {
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+        assert!(mean_power(&m.receive(a, 0)) < 1e-12);
+        m.end_block();
+        m.set_gain(a, a, C64::new(0.7, 0.0));
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+        let y = m.receive(a, 0);
+        assert!((mean_power(&y) - 0.49).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receive_is_idempotent_within_block() {
+        let cfg = MediumConfig::default(); // real noise floor
+        let mut m = Medium::new(cfg, 9);
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        m.set_gain(a, b, C64::ONE);
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+        let y1 = m.receive(b, 0);
+        let y2 = m.receive(b, 0);
+        assert_eq!(y1, y2, "same block, same noise");
+        m.end_block();
+        let y3 = m.receive(b, 0);
+        assert_ne!(y1, y3, "new block, fresh noise");
+    }
+
+    #[test]
+    #[should_panic(expected = "transmit after receive")]
+    fn staging_frozen_after_receive() {
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let _ = m.receive(a, 0);
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+    }
+
+    #[test]
+    fn short_burst_zero_padded() {
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        m.set_gain(a, b, C64::ONE);
+        m.transmit(a, 0, &[C64::ONE; 4]);
+        let y = m.receive(b, 0);
+        // Tolerances sized above the -200 dBm residual noise floor.
+        assert!((y[3] - C64::ONE).abs() < 1e-6);
+        assert!(y[4].abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_floor_level_is_respected() {
+        let mut m = Medium::new(MediumConfig::default(), 11);
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        m.set_noise_floor_dbm(a, -50.0);
+        let mut acc = 0.0;
+        let blocks = 2000;
+        for _ in 0..blocks {
+            let y = m.receive(a, 0);
+            acc += mean_power(&y);
+            m.end_block();
+        }
+        let dbm = db_from_ratio(acc / blocks as f64);
+        assert!((dbm - (-50.0)).abs() < 0.3, "floor {dbm}");
+    }
+
+    #[test]
+    fn build_links_uses_pathloss() {
+        let mut m = Medium::new(
+            MediumConfig {
+                noise_floor_dbm: -200.0,
+                ..Default::default()
+            },
+            13,
+        );
+        let model = PathlossModel::free_space(403.5e6);
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 10.0, 0.0));
+        m.build_links(&model, Fading::None);
+        let g = m.gain(a, b);
+        // Free space at 10 m, 403.5 MHz: ~44.6 dB.
+        let loss_db = -db_from_ratio(g.norm_sq());
+        assert!((loss_db - 44.6).abs() < 0.2, "loss {loss_db}");
+        // Reciprocity.
+        assert_eq!(m.gain(a, b), m.gain(b, a));
+        // Self gain remains zero.
+        assert_eq!(m.gain(a, a), C64::ZERO);
+    }
+
+    #[test]
+    fn build_links_preserves_explicit_gains() {
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 0.01, 0.0));
+        let wired = C64::new(0.9, 0.0);
+        m.set_gain(a, b, wired);
+        m.set_gain(b, a, wired);
+        m.build_links(&PathlossModel::mics_indoor(), Fading::None);
+        assert_eq!(m.gain(a, b), wired);
+    }
+
+    #[test]
+    fn tick_and_time_advance() {
+        let mut m = quiet_medium();
+        assert_eq!(m.tick(), 0);
+        m.end_block();
+        m.end_block();
+        assert_eq!(m.block_index(), 2);
+        assert_eq!(m.tick(), 32);
+        assert!((m.time_s() - 32.0 / 300e3).abs() < 1e-15);
+        assert_eq!(m.blocks_for_duration(1e-3), 19); // 300 samples / 16
+    }
+
+    #[test]
+    fn cfo_rotates_transmissions_continuously() {
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        m.set_gain(a, b, C64::ONE);
+        m.set_cfo_hz(a, 3e3);
+        // Transmit a constant; receive a rotating phasor whose rate matches
+        // the offset, continuous across blocks.
+        let mut rx = Vec::new();
+        for _ in 0..8 {
+            m.transmit(a, 0, &vec![C64::ONE; 16]);
+            rx.extend(m.receive(b, 0));
+            m.end_block();
+        }
+        let est = hb_dsp::cfo::estimate_cfo(&rx, m.config().fs_hz);
+        assert!((est - 3e3).abs() < 20.0, "estimated CFO {est}");
+        // Equal offsets on both ends cancel.
+        m.set_cfo_hz(b, 3e3);
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+        let y = m.receive(b, 0);
+        for s in &y {
+            assert!((s.arg()).abs() < 0.2, "residual rotation {}", s.arg());
+        }
+    }
+
+    #[test]
+    fn impulse_noise_raises_average_floor() {
+        let mut m = Medium::new(
+            MediumConfig {
+                noise_floor_dbm: -112.0,
+                ..Default::default()
+            },
+            21,
+        );
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        m.set_impulse_noise(0.25, -60.0);
+        let mut hot_blocks = 0;
+        let blocks = 2000;
+        for _ in 0..blocks {
+            let y = m.receive(a, 0);
+            if mean_power(&y) > ratio_from_db(-70.0) {
+                hot_blocks += 1;
+            }
+            m.end_block();
+        }
+        let rate = hot_blocks as f64 / blocks as f64;
+        assert!((rate - 0.25).abs() < 0.05, "impulse rate {rate}");
+    }
+
+    #[test]
+    fn observer_helpers() {
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        assert!(!m.channel_active(0));
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+        assert!(m.channel_active(0));
+        assert!(!m.channel_active(1));
+        assert!((m.staged_power(0) - 1.0).abs() < 1e-12);
+    }
+}

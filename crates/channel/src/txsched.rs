@@ -1,0 +1,227 @@
+//! Block-aligned transmission scheduling.
+//!
+//! Devices build whole waveforms (a modulated frame, a jamming burst) and
+//! hand them to a [`TxScheduler`] with an absolute start tick; the
+//! scheduler slices them into medium blocks each `produce` phase,
+//! zero-padding partial blocks so sub-block start offsets (e.g. the IMD's
+//! 2.8–3.7 ms reply delay) are honored to the sample.
+
+use crate::medium::{AntennaId, Medium, Tick};
+use hb_dsp::complex::C64;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Scheduled {
+    start_tick: Tick,
+    channel: usize,
+    samples: Vec<C64>,
+}
+
+/// Queue of future transmissions for one antenna.
+#[derive(Debug, Clone, Default)]
+pub struct TxScheduler {
+    queue: Vec<Scheduled>,
+}
+
+impl TxScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        TxScheduler { queue: Vec::new() }
+    }
+
+    /// Schedules `samples` to start at `start_tick` (absolute sample time)
+    /// on `channel`. Bursts that overlap in time are summed — an antenna
+    /// driving two simultaneous bursts emits their superposition, which is
+    /// what a DAC fed two signals would do.
+    pub fn schedule(&mut self, start_tick: Tick, channel: usize, samples: Vec<C64>) {
+        if samples.is_empty() {
+            return;
+        }
+        self.queue.push(Scheduled {
+            start_tick,
+            channel,
+            samples,
+        });
+    }
+
+    /// True if a queued burst covers `tick`.
+    pub fn busy_at(&self, tick: Tick) -> bool {
+        self.queue
+            .iter()
+            .any(|s| tick >= s.start_tick && tick < s.start_tick + s.samples.len() as Tick)
+    }
+
+    /// True if nothing is queued.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Tick just past the end of the last queued burst, if any.
+    pub fn end_tick(&self) -> Option<Tick> {
+        self.queue
+            .iter()
+            .map(|s| s.start_tick + s.samples.len() as Tick)
+            .max()
+    }
+
+    /// Cancels everything queued.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Emits this block's slice of every active burst (one transmission per
+    /// channel). Returns `true` if any samples went out this block.
+    pub fn produce(&mut self, antenna: AntennaId, medium: &mut Medium) -> bool {
+        let block_len = medium.config().block_len as Tick;
+        let block_start = medium.tick();
+        let block_end = block_start + block_len;
+
+        let mut per_channel: HashMap<usize, Vec<C64>> = HashMap::new();
+        for s in &self.queue {
+            let s_end = s.start_tick + s.samples.len() as Tick;
+            if s.start_tick >= block_end || s_end <= block_start {
+                continue;
+            }
+            let buf = per_channel
+                .entry(s.channel)
+                .or_insert_with(|| vec![C64::ZERO; block_len as usize]);
+            let from = block_start.max(s.start_tick);
+            let to = block_end.min(s_end);
+            for t in from..to {
+                buf[(t - block_start) as usize] += s.samples[(t - s.start_tick) as usize];
+            }
+        }
+        // Drop bursts that have fully played out.
+        self.queue
+            .retain(|s| s.start_tick + s.samples.len() as Tick > block_end);
+
+        let any = !per_channel.is_empty();
+        for (channel, buf) in per_channel {
+            medium.transmit(antenna, channel, &buf);
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Placement;
+    use crate::medium::MediumConfig;
+    use hb_dsp::complex::mean_power;
+
+    fn medium() -> Medium {
+        Medium::new(
+            MediumConfig {
+                noise_floor_dbm: -300.0,
+                ..Default::default()
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn burst_plays_with_exact_offset() {
+        let mut m = medium();
+        let tx = m.add_antenna(Placement::los("tx", 0.0, 0.0));
+        let rx = m.add_antenna(Placement::los("rx", 1.0, 0.0));
+        m.set_gain(tx, rx, C64::ONE);
+
+        let mut sched = TxScheduler::new();
+        // Start mid-block: tick 20 (block 1, offset 4), 10 samples long.
+        sched.schedule(20, 0, vec![C64::ONE; 10]);
+
+        let mut received = Vec::new();
+        for _ in 0..4 {
+            sched.produce(tx, &mut m);
+            received.extend(m.receive(rx, 0));
+            m.end_block();
+        }
+        for (t, s) in received.iter().enumerate() {
+            let expected = if (20..30).contains(&t) { 1.0 } else { 0.0 };
+            assert!(
+                (s.abs() - expected).abs() < 1e-9,
+                "tick {t}: {} vs {expected}",
+                s.abs()
+            );
+        }
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn long_burst_spans_blocks() {
+        let mut m = medium();
+        let tx = m.add_antenna(Placement::los("tx", 0.0, 0.0));
+        let rx = m.add_antenna(Placement::los("rx", 1.0, 0.0));
+        m.set_gain(tx, rx, C64::ONE);
+
+        let mut sched = TxScheduler::new();
+        let wave: Vec<C64> = (0..100).map(|i| C64::new(i as f64, 0.0)).collect();
+        sched.schedule(0, 2, wave.clone());
+
+        let mut received = Vec::new();
+        for _ in 0..7 {
+            sched.produce(tx, &mut m);
+            received.extend(m.receive(rx, 2));
+            m.end_block();
+        }
+        for (t, expected) in wave.iter().enumerate() {
+            assert!((received[t] - *expected).abs() < 1e-9, "sample {t}");
+        }
+        assert!(mean_power(&received[100..112]) < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_bursts_superpose() {
+        let mut m = medium();
+        let tx = m.add_antenna(Placement::los("tx", 0.0, 0.0));
+        let rx = m.add_antenna(Placement::los("rx", 1.0, 0.0));
+        m.set_gain(tx, rx, C64::ONE);
+
+        let mut sched = TxScheduler::new();
+        sched.schedule(0, 0, vec![C64::ONE; 16]);
+        sched.schedule(8, 0, vec![C64::ONE; 16]);
+
+        sched.produce(tx, &mut m);
+        let y = m.receive(rx, 0);
+        assert!((y[4] - C64::ONE).abs() < 1e-9);
+        assert!((y[12] - C64::new(2.0, 0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_channels_in_one_block() {
+        let mut m = medium();
+        let tx = m.add_antenna(Placement::los("tx", 0.0, 0.0));
+        let rx = m.add_antenna(Placement::los("rx", 1.0, 0.0));
+        m.set_gain(tx, rx, C64::ONE);
+
+        let mut sched = TxScheduler::new();
+        sched.schedule(0, 0, vec![C64::ONE; 16]);
+        sched.schedule(0, 5, vec![C64::new(2.0, 0.0); 16]);
+        sched.produce(tx, &mut m);
+        assert!((m.receive(rx, 0)[0] - C64::ONE).abs() < 1e-9);
+        assert!((m.receive(rx, 5)[0] - C64::new(2.0, 0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_and_end_tick() {
+        let mut sched = TxScheduler::new();
+        assert!(sched.is_idle());
+        assert_eq!(sched.end_tick(), None);
+        sched.schedule(100, 0, vec![C64::ONE; 50]);
+        assert!(!sched.busy_at(99));
+        assert!(sched.busy_at(100));
+        assert!(sched.busy_at(149));
+        assert!(!sched.busy_at(150));
+        assert_eq!(sched.end_tick(), Some(150));
+        sched.clear();
+        assert!(sched.is_idle());
+    }
+
+    #[test]
+    fn empty_schedule_ignored() {
+        let mut sched = TxScheduler::new();
+        sched.schedule(0, 0, vec![]);
+        assert!(sched.is_idle());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the channel substrate.
+
+use hb_channel::fading::{Fading, MultipathChannel};
+use hb_channel::geometry::{Placement, Point};
+use hb_channel::medium::{Medium, MediumConfig};
+use hb_channel::pathloss::PathlossModel;
+use hb_channel::txsched::TxScheduler;
+use hb_dsp::complex::C64;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Pathloss is monotone non-decreasing in distance.
+    #[test]
+    fn pathloss_monotone(d1 in 0.01f64..50.0, d2 in 0.01f64..50.0) {
+        let m = PathlossModel::mics_indoor();
+        let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.air_loss_db(near) <= m.air_loss_db(far) + 1e-9);
+    }
+
+    /// Link loss is symmetric in its endpoints for any placement combo.
+    #[test]
+    fn link_loss_symmetric(
+        x1 in -30.0f64..30.0, y1 in -30.0f64..30.0,
+        x2 in -30.0f64..30.0, y2 in -30.0f64..30.0,
+        los1 in any::<bool>(), los2 in any::<bool>(),
+        body1 in any::<bool>(), body2 in any::<bool>(),
+    ) {
+        let m = PathlossModel::mics_indoor();
+        let make = |l: &str, x: f64, y: f64, los: bool, body: bool| {
+            let mut p = if los { Placement::los(l, x, y) } else { Placement::nlos(l, x, y) };
+            if body { p = p.implanted(); }
+            p
+        };
+        let a = make("a", x1, y1, los1, body1);
+        let b = make("b", x2, y2, los2, body2);
+        prop_assert!((m.link_loss_db(&a, &b) - m.link_loss_db(&b, &a)).abs() < 1e-12);
+    }
+
+    /// Distance is a metric (triangle inequality on random triples).
+    #[test]
+    fn distance_triangle(
+        ax in -10f64..10.0, ay in -10f64..10.0,
+        bx in -10f64..10.0, by in -10f64..10.0,
+        cx in -10f64..10.0, cy in -10f64..10.0,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+    }
+
+    /// The medium is linear: doubling the transmit amplitude doubles the
+    /// received amplitude (noise disabled).
+    #[test]
+    fn medium_linearity(amp in 0.1f64..10.0, gain_db in -80.0f64..0.0) {
+        let mut m = Medium::new(
+            MediumConfig { noise_floor_dbm: -300.0, ..Default::default() },
+            1,
+        );
+        let tx = m.add_antenna(Placement::los("tx", 0.0, 0.0));
+        let rx = m.add_antenna(Placement::los("rx", 1.0, 0.0));
+        let g = C64::from_polar(hb_dsp::units::amplitude_from_db(gain_db), 0.3);
+        m.set_gain(tx, rx, g);
+
+        m.transmit(tx, 0, &vec![C64::real(amp); 16]);
+        let y1 = m.receive(rx, 0);
+        m.end_block();
+        m.transmit(tx, 0, &vec![C64::real(2.0 * amp); 16]);
+        let y2 = m.receive(rx, 0);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((b.abs() - 2.0 * a.abs()).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    /// A scheduled burst is reproduced sample-exactly at any offset and
+    /// any block size boundary.
+    #[test]
+    fn txsched_sample_exact(offset in 0u64..100, len in 1usize..200) {
+        let mut m = Medium::new(
+            MediumConfig { noise_floor_dbm: -300.0, ..Default::default() },
+            2,
+        );
+        let tx = m.add_antenna(Placement::los("tx", 0.0, 0.0));
+        let rx = m.add_antenna(Placement::los("rx", 1.0, 0.0));
+        m.set_gain(tx, rx, C64::ONE);
+        let wave: Vec<C64> = (0..len).map(|i| C64::new(i as f64 + 1.0, -(i as f64))).collect();
+        let mut sched = TxScheduler::new();
+        sched.schedule(offset, 0, wave.clone());
+        let mut rx_all = Vec::new();
+        let blocks = (offset as usize + len) / 16 + 2;
+        for _ in 0..blocks {
+            sched.produce(tx, &mut m);
+            rx_all.extend(m.receive(rx, 0));
+            m.end_block();
+        }
+        for (i, expected) in wave.iter().enumerate() {
+            prop_assert!((rx_all[offset as usize + i] - *expected).abs() < 1e-9);
+        }
+        // Silence before and after.
+        if offset > 0 {
+            prop_assert!(rx_all[offset as usize - 1].abs() < 1e-9);
+        }
+        prop_assert!(rx_all[offset as usize + len].abs() < 1e-9);
+    }
+
+    /// Fading draws preserve unit mean power for any Rician K.
+    #[test]
+    fn rician_unit_power(k in 0.0f64..50.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4000;
+        let p: f64 = (0..n).map(|_| Fading::Rician(k).draw(&mut rng).norm_sq()).sum::<f64>() / n as f64;
+        prop_assert!((p - 1.0).abs() < 0.2, "power {}", p);
+    }
+
+    /// Multipath normalization holds for any profile shape.
+    #[test]
+    fn multipath_unit_power(n_taps in 1usize..16, decay in 0.05f64..1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ch = MultipathChannel::random_exponential(n_taps, decay, &mut rng);
+        let total: f64 = ch.taps.iter().map(|t| t.norm_sq()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,284 @@
+//! The wideband extension of the antidote scheme (§5, "Wideband channels").
+//!
+//! The narrowband antidote `x = −(H_jam→rec/H_self)·j` assumes a flat
+//! channel between the two antennas. Over a channel with multipath, no
+//! single coefficient cancels: the paper notes that *"such channels use
+//! OFDM, which divides the bandwidth into orthogonal subcarriers and
+//! treats each of the subcarriers as if it was an independent narrowband
+//! channel. Our model naturally fits in this context"* (and footnote 2
+//! sketches the equivalent time-domain equalizer view).
+//!
+//! This module implements that extension: the jamming signal is generated
+//! with OFDM structure (random subcarriers + cyclic prefix), and the
+//! antidote is computed **per subcarrier**:
+//!
+//! ```text
+//! X[k] = −(H_jam→rec[k] / H_self) · J[k]
+//! ```
+//!
+//! The cyclic prefix turns the multipath convolution into a circular one
+//! inside each symbol's payload window, so per-subcarrier scaling is exact
+//! there. Tests show the narrowband antidote collapses to ~5–10 dB of
+//! cancellation on a multipath coupling while the per-subcarrier antidote
+//! restores the full estimation-limited depth.
+
+use hb_channel::fading::MultipathChannel;
+use hb_dsp::complex::{mean_power, C64};
+use hb_dsp::fft::FftPlan;
+use hb_dsp::noise::complex_gaussian;
+use hb_dsp::units::{amplitude_from_db, db_from_ratio};
+use rand::Rng;
+
+/// One OFDM-structured jamming symbol with its matching antidote.
+#[derive(Debug, Clone)]
+pub struct WidebandJamSymbol {
+    /// Time-domain jamming samples (CP + payload), for the jam antenna.
+    pub jam: Vec<C64>,
+    /// Time-domain antidote samples, for the receive antenna's TX chain.
+    pub antidote: Vec<C64>,
+}
+
+/// Per-subcarrier full-duplex engine for frequency-selective couplings.
+#[derive(Debug, Clone)]
+pub struct WidebandFullDuplex {
+    /// True multipath coupling jam→receive antenna.
+    h_jam_rec: MultipathChannel,
+    /// True (flat, wired) self-loop gain.
+    h_self: C64,
+    /// Estimated per-subcarrier jam→receive response.
+    est_jr: Vec<C64>,
+    /// Estimated self-loop gain.
+    est_self: C64,
+    plan: FftPlan,
+    n_sub: usize,
+    cp: usize,
+}
+
+impl WidebandFullDuplex {
+    /// Creates the engine. `cp` must be at least the channel's delay
+    /// spread for the per-subcarrier model to hold.
+    ///
+    /// # Panics
+    /// Panics if the cyclic prefix is shorter than the delay spread.
+    pub fn new(h_jam_rec: MultipathChannel, h_self: C64, n_sub: usize, cp: usize) -> Self {
+        assert!(
+            cp >= h_jam_rec.delay_spread(),
+            "cyclic prefix {cp} shorter than delay spread {}",
+            h_jam_rec.delay_spread()
+        );
+        let est_jr = Self::true_freq_response(&h_jam_rec, n_sub);
+        WidebandFullDuplex {
+            h_jam_rec,
+            h_self,
+            est_jr,
+            est_self: h_self,
+            plan: FftPlan::new(n_sub),
+            n_sub,
+            cp,
+        }
+    }
+
+    /// The channel's true per-subcarrier response.
+    fn true_freq_response(ch: &MultipathChannel, n_sub: usize) -> Vec<C64> {
+        let mut taps = vec![C64::ZERO; n_sub];
+        taps[..ch.taps.len()].copy_from_slice(&ch.taps);
+        FftPlan::new(n_sub).forward(&mut taps);
+        taps
+    }
+
+    /// Performs a channel-estimation pass with the same bias-limited error
+    /// model as the narrowband engine (fixed relative magnitude, random
+    /// phase, per subcarrier).
+    pub fn estimate<R: Rng + ?Sized>(&mut self, est_snr_db: f64, rng: &mut R) {
+        let a = amplitude_from_db(-est_snr_db);
+        let truth = Self::true_freq_response(&self.h_jam_rec, self.n_sub);
+        self.est_jr = truth
+            .iter()
+            .map(|&h| {
+                let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+                h * (C64::ONE + C64::from_polar(a, theta))
+            })
+            .collect();
+        let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+        self.est_self = self.h_self * (C64::ONE + C64::from_polar(a, theta));
+    }
+
+    /// Generates one OFDM-structured jamming symbol and its antidote.
+    /// The jam payload has unit mean power (in expectation).
+    pub fn jam_symbol<R: Rng + ?Sized>(&self, rng: &mut R) -> WidebandJamSymbol {
+        // Random frequency-domain jamming with unit power per subcarrier.
+        let j_freq: Vec<C64> = (0..self.n_sub)
+            .map(|_| complex_gaussian(rng, self.n_sub as f64))
+            .collect();
+        // Per-subcarrier antidote.
+        let x_freq: Vec<C64> = j_freq
+            .iter()
+            .zip(&self.est_jr)
+            .map(|(&j, &h)| -(h / self.est_self) * j)
+            .collect();
+        let to_time = |freq: &[C64]| -> Vec<C64> {
+            let mut buf = freq.to_vec();
+            self.plan.inverse(&mut buf);
+            let mut out = Vec::with_capacity(self.cp + self.n_sub);
+            out.extend_from_slice(&buf[self.n_sub - self.cp..]);
+            out.extend_from_slice(&buf);
+            out
+        };
+        WidebandJamSymbol {
+            jam: to_time(&j_freq),
+            antidote: to_time(&x_freq),
+        }
+    }
+
+    /// Simulates the receive chain for `symbols` jamming symbols and
+    /// measures the cancellation depth in dB over the payload windows:
+    /// received = (h_jam_rec ⊛ jam) + h_self·antidote, compared with the
+    /// jamming contribution alone.
+    pub fn measure_cancellation<R: Rng + ?Sized>(&self, symbols: usize, rng: &mut R) -> f64 {
+        let sym_len = self.cp + self.n_sub;
+        let mut jam_stream = Vec::with_capacity(symbols * sym_len);
+        let mut anti_stream = Vec::with_capacity(symbols * sym_len);
+        for _ in 0..symbols {
+            let s = self.jam_symbol(rng);
+            jam_stream.extend(s.jam);
+            anti_stream.extend(s.antidote);
+        }
+        let through_channel = self.h_jam_rec.apply(&jam_stream);
+        let mut with_antidote = Vec::with_capacity(jam_stream.len());
+        let mut without = Vec::with_capacity(jam_stream.len());
+        for i in 0..jam_stream.len() {
+            // Payload windows only (skip each symbol's CP region, where
+            // inter-symbol leakage lives).
+            if i % sym_len < self.cp {
+                continue;
+            }
+            without.push(through_channel[i]);
+            with_antidote.push(through_channel[i] + anti_stream[i] * self.h_self);
+        }
+        db_from_ratio(mean_power(&without) / mean_power(&with_antidote))
+    }
+
+    /// Cancellation of the *narrowband* antidote (a single coefficient
+    /// matched to the channel's mean response) on the same multipath
+    /// coupling — the baseline this module improves upon.
+    pub fn measure_narrowband_cancellation<R: Rng + ?Sized>(
+        &self,
+        symbols: usize,
+        rng: &mut R,
+    ) -> f64 {
+        // Best single-tap approximation: the DC-subcarrier response.
+        let coeff = -(self.est_jr[0] / self.est_self);
+        let sym_len = self.cp + self.n_sub;
+        let mut jam_stream = Vec::with_capacity(symbols * sym_len);
+        for _ in 0..symbols {
+            let s = self.jam_symbol(rng);
+            jam_stream.extend(s.jam);
+        }
+        let through_channel = self.h_jam_rec.apply(&jam_stream);
+        let mut with_antidote = Vec::with_capacity(jam_stream.len());
+        let mut without = Vec::with_capacity(jam_stream.len());
+        for i in 0..jam_stream.len() {
+            if i % sym_len < self.cp {
+                continue;
+            }
+            without.push(through_channel[i]);
+            with_antidote.push(through_channel[i] + jam_stream[i] * coeff * self.h_self);
+        }
+        db_from_ratio(mean_power(&without) / mean_power(&with_antidote))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn multipath(rng: &mut StdRng) -> MultipathChannel {
+        // A 6-tap exponentially decaying coupling scaled to −30 dB total,
+        // like the narrowband |H_jam→rec|.
+        let mut ch = MultipathChannel::random_exponential(6, 0.5, rng);
+        for t in ch.taps.iter_mut() {
+            *t = t.scale(amplitude_from_db(-30.0));
+        }
+        ch
+    }
+
+    fn engine(rng: &mut StdRng) -> WidebandFullDuplex {
+        let h_self = C64::from_polar(amplitude_from_db(-3.0), 1.1);
+        WidebandFullDuplex::new(multipath(rng), h_self, 64, 16)
+    }
+
+    #[test]
+    fn perfect_estimates_cancel_deeply() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fd = engine(&mut rng);
+        let g = fd.measure_cancellation(50, &mut rng);
+        assert!(g > 60.0, "ideal per-subcarrier cancellation only {g} dB");
+    }
+
+    #[test]
+    fn estimation_limited_cancellation_matches_narrowband_theory() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut fd = engine(&mut rng);
+        fd.estimate(32.0, &mut rng);
+        let g = fd.measure_cancellation(80, &mut rng);
+        // Per-subcarrier errors at 32 dB estimation accuracy: cancellation
+        // lands in the same regime as the narrowband engine's Fig. 7
+        // distribution.
+        assert!(
+            (24.0..45.0).contains(&g),
+            "estimation-limited cancellation {g} dB"
+        );
+    }
+
+    #[test]
+    fn narrowband_antidote_fails_on_multipath() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fd = engine(&mut rng);
+        let g_wide = fd.measure_cancellation(50, &mut rng);
+        let g_narrow = fd.measure_narrowband_cancellation(50, &mut rng);
+        assert!(
+            g_narrow < 15.0,
+            "single-tap antidote should collapse on multipath, got {g_narrow} dB"
+        );
+        assert!(
+            g_wide > g_narrow + 20.0,
+            "per-subcarrier ({g_wide} dB) must dominate single-tap ({g_narrow} dB)"
+        );
+    }
+
+    #[test]
+    fn flat_channel_reduces_to_narrowband() {
+        // With a single-tap coupling, both antidotes do the same job.
+        let mut rng = StdRng::seed_from_u64(4);
+        let flat = MultipathChannel::flat(C64::from_polar(amplitude_from_db(-30.0), 0.4));
+        let h_self = C64::from_polar(amplitude_from_db(-3.0), -0.9);
+        let fd = WidebandFullDuplex::new(flat, h_self, 64, 16);
+        let g_wide = fd.measure_cancellation(40, &mut rng);
+        let g_narrow = fd.measure_narrowband_cancellation(40, &mut rng);
+        assert!(g_wide > 60.0);
+        assert!(g_narrow > 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cyclic prefix")]
+    fn rejects_insufficient_cp() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ch = MultipathChannel::random_exponential(20, 0.8, &mut rng);
+        let _ = WidebandFullDuplex::new(ch, C64::ONE, 64, 8);
+    }
+
+    #[test]
+    fn jam_symbols_have_unit_payload_power() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let fd = engine(&mut rng);
+        let mut payload = Vec::new();
+        for _ in 0..100 {
+            let s = fd.jam_symbol(&mut rng);
+            payload.extend_from_slice(&s.jam[16..]);
+        }
+        let p = mean_power(&payload);
+        assert!((p - 1.0).abs() < 0.1, "payload power {p}");
+    }
+}

@@ -1,0 +1,155 @@
+//! ChaCha20-Poly1305 AEAD construction (RFC 8439 §2.8).
+
+use crate::chacha20::{chacha20_block, chacha20_xor, KEY_LEN, NONCE_LEN};
+use crate::poly1305::{poly1305, tags_equal, TAG_LEN};
+
+/// AEAD decryption failure: the tag did not verify. No plaintext is ever
+/// released on failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthError;
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AEAD authentication failed")
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// Derives the Poly1305 one-time key from the cipher key and nonce
+/// (the first 32 bytes of ChaCha20 block 0).
+fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    let block = chacha20_block(key, 0, nonce);
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block[..32]);
+    pk
+}
+
+/// The message over which the tag is computed:
+/// `aad || pad16 || ciphertext || pad16 || len(aad) || len(ciphertext)`.
+fn mac_data(aad: &[u8], ciphertext: &[u8]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
+    m.extend_from_slice(aad);
+    m.resize(m.len().div_ceil(16) * 16, 0);
+    m.extend_from_slice(ciphertext);
+    m.resize(m.len().div_ceil(16) * 16, 0);
+    m.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    m.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    m
+}
+
+/// Encrypts `plaintext` with associated data `aad`; returns
+/// `ciphertext || tag`.
+pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut ct = plaintext.to_vec();
+    chacha20_xor(key, 1, nonce, &mut ct);
+    let tag = poly1305(&poly_key(key, nonce), &mac_data(aad, &ct));
+    ct.extend_from_slice(&tag);
+    ct
+}
+
+/// Verifies and decrypts `ciphertext || tag`. Returns the plaintext, or
+/// [`AuthError`] if the tag (or anything covered by it) was tampered with.
+pub fn open(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, AuthError> {
+    if sealed.len() < TAG_LEN {
+        return Err(AuthError);
+    }
+    let (ct, tag_bytes) = sealed.split_at(sealed.len() - TAG_LEN);
+    let mut tag = [0u8; TAG_LEN];
+    tag.copy_from_slice(tag_bytes);
+    let expected = poly1305(&poly_key(key, nonce), &mac_data(aad, ct));
+    if !tags_equal(&expected, &tag) {
+        return Err(AuthError);
+    }
+    let mut pt = ct.to_vec();
+    chacha20_xor(key, 1, nonce, &mut pt);
+    Ok(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.8.2 test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let aad: [u8; 12] = [
+            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+        ];
+        let key: [u8; 32] = [
+            0x80, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x8b, 0x8c, 0x8d,
+            0x8e, 0x8f, 0x90, 0x91, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9a, 0x9b,
+            0x9c, 0x9d, 0x9e, 0x9f,
+        ];
+        let nonce: [u8; 12] = [
+            0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let sealed = seal(&key, &nonce, &aad, plaintext);
+        // First ciphertext bytes.
+        let expected_ct_start: [u8; 16] = [
+            0xd3, 0x1a, 0x8d, 0x34, 0x64, 0x8e, 0x60, 0xdb, 0x7b, 0x86, 0xaf, 0xbc, 0x53, 0xef,
+            0x7e, 0xc2,
+        ];
+        assert_eq!(&sealed[..16], &expected_ct_start);
+        // Tag.
+        let expected_tag: [u8; 16] = [
+            0x1a, 0xe1, 0x0b, 0x59, 0x4f, 0x09, 0xe2, 0x6a, 0x7e, 0x90, 0x2e, 0xcb, 0xd0, 0x60,
+            0x06, 0x91,
+        ];
+        assert_eq!(&sealed[sealed.len() - 16..], &expected_tag);
+        // Round trip.
+        let pt = open(&key, &nonce, &aad, &sealed).unwrap();
+        assert_eq!(pt, plaintext);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let sealed = seal(&key, &nonce, b"hdr", b"interrogate");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(open(&key, &nonce, b"hdr", &bad), Err(AuthError), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn tampered_aad_rejected() {
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let sealed = seal(&key, &nonce, b"seq=1", b"set-rate 70");
+        assert_eq!(open(&key, &nonce, b"seq=2", &sealed), Err(AuthError));
+    }
+
+    #[test]
+    fn wrong_key_or_nonce_rejected() {
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let sealed = seal(&key, &nonce, b"", b"payload");
+        assert_eq!(open(&[8u8; 32], &nonce, b"", &sealed), Err(AuthError));
+        assert_eq!(open(&key, &[2u8; 12], b"", &sealed), Err(AuthError));
+    }
+
+    #[test]
+    fn empty_plaintext_and_aad() {
+        let key = [3u8; 32];
+        let nonce = [4u8; 12];
+        let sealed = seal(&key, &nonce, b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(open(&key, &nonce, b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let key = [3u8; 32];
+        let nonce = [4u8; 12];
+        assert_eq!(open(&key, &nonce, b"", &[0u8; 8]), Err(AuthError));
+    }
+}

@@ -1,0 +1,170 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! The paper assumes "an authenticated, encrypted channel between the
+//! shield and the programmer" (§4) without prescribing a construction. We
+//! implement the standard ChaCha20-Poly1305 AEAD so the relay path runs a
+//! real cryptographic channel end to end. Verified against the RFC 8439
+//! test vectors.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes (the 96-bit IETF variant).
+pub const NONCE_LEN: usize = 12;
+/// Block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// The ChaCha20 quarter round.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Builds the initial state for a block.
+fn initial_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    state
+}
+
+/// Computes one 64-byte keystream block.
+pub fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let initial = initial_state(key, counter, nonce);
+    let mut state = initial;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let v = state[i].wrapping_add(initial[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR keystream), starting at block
+/// `counter`.
+pub fn chacha20_xor(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = chacha20_block(key, counter.wrapping_add(block_idx as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2.
+        let key = test_key();
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = chacha20_block(&key, 1, &nonce);
+        let expected: [u8; 16] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4,
+        ];
+        assert_eq!(&block[..16], &expected);
+        // Last 16 bytes too.
+        let expected_tail: [u8; 16] = [
+            0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50,
+            0x3c, 0x4e,
+        ];
+        assert_eq!(&block[48..], &expected_tail);
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2: the "sunscreen" plaintext.
+        let key = test_key();
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        let expected_start: [u8; 16] = [
+            0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+            0x69, 0x81,
+        ];
+        assert_eq!(&data[..16], &expected_start);
+        let expected_end: [u8; 10] = [0xb4, 0x0b, 0x8e, 0xed, 0xf2, 0x78, 0x5e, 0x42, 0x87, 0x4d];
+        assert_eq!(&data[104..114], &expected_end);
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let key = test_key();
+        let nonce = [7u8; 12];
+        let original: Vec<u8> = (0..300).map(|i| (i * 7) as u8).collect();
+        let mut data = original.clone();
+        chacha20_xor(&key, 5, &nonce, &mut data);
+        assert_ne!(data, original);
+        chacha20_xor(&key, 5, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let key = test_key();
+        let b1 = chacha20_block(&key, 0, &[1u8; 12]);
+        let b2 = chacha20_block(&key, 0, &[2u8; 12]);
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn different_counters_give_different_blocks() {
+        let key = test_key();
+        let nonce = [3u8; 12];
+        assert_ne!(chacha20_block(&key, 0, &nonce), chacha20_block(&key, 1, &nonce));
+    }
+
+    #[test]
+    fn quarter_round_rfc_vector() {
+        // RFC 8439 §2.1.1.
+        let mut state = [0u32; 16];
+        state[0] = 0x11111111;
+        state[1] = 0x01020304;
+        state[2] = 0x9b8d6f43;
+        state[3] = 0x01234567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a92f4);
+        assert_eq!(state[1], 0xcb1cf8ce);
+        assert_eq!(state[2], 0x4581472e);
+        assert_eq!(state[3], 0x5881c4bb);
+    }
+}

@@ -1,0 +1,27 @@
+//! # hb-crypto — the shield ↔ programmer cryptographic channel
+//!
+//! The paper's architecture (§4) routes all programmer traffic through the
+//! shield over "an authenticated, encrypted channel". This crate implements
+//! that channel from scratch:
+//!
+//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 8439, verified against
+//!   the RFC test vectors).
+//! * [`poly1305`] — the Poly1305 one-time authenticator (RFC 8439).
+//! * [`aead`] — the ChaCha20-Poly1305 AEAD construction.
+//! * [`session`] — pre-shared-key sessions with per-direction nonces and
+//!   replay rejection.
+//!
+//! Scope note: this is a faithful, tested implementation intended for the
+//! simulation; it has not been side-channel hardened for production use on
+//! real patient hardware.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod poly1305;
+pub mod session;
+
+pub use aead::{open, seal, AuthError};
+pub use session::{SecureSession, SessionError};

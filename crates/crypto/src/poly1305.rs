@@ -1,0 +1,211 @@
+//! Poly1305 one-time authenticator (RFC 8439).
+//!
+//! Implemented with 8-bit limbs after D. J. Bernstein's reference
+//! implementation: slow but simple and obviously correct, which is the
+//! right trade-off here — relay messages are hundreds of bytes, not
+//! gigabytes. Verified against the RFC 8439 test vector.
+
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+/// One-time key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// Adds `b` into `a` over 8-bit limbs (no modular reduction).
+fn add(a: &mut [u32; 17], b: &[u32; 17]) {
+    let mut carry = 0u32;
+    for i in 0..17 {
+        carry += a[i] + b[i];
+        a[i] = carry & 0xFF;
+        carry >>= 8;
+    }
+}
+
+/// Reduces `a` modulo 2^130 - 5 into the canonical range.
+fn freeze(a: &mut [u32; 17]) {
+    let orig = *a;
+    // Subtract p = 2^130 - 5 by adding its two's complement over 17 bytes:
+    // 2^136 - p = 5 + 63·2^130 = {5, 0, …, 0, 0xFC}. The add masks limbs,
+    // so the result is (a - p) mod 2^136.
+    let mut minus_p = [0u32; 17];
+    minus_p[0] = 5;
+    minus_p[16] = 0xFC;
+    add(a, &minus_p);
+    // If a < p the subtraction wrapped: the top limb carries the 0xFC-ish
+    // high bits. Restore the original in that case.
+    let wrapped = (a[16] & 0x80) != 0;
+    if wrapped {
+        *a = orig;
+    }
+}
+
+/// Multiplies `h` by `r` modulo 2^130 - 5.
+fn mulmod(h: &mut [u32; 17], r: &[u32; 17]) {
+    let mut hr = [0u32; 17];
+    for i in 0..17 {
+        let mut u = 0u32;
+        // Low partial products.
+        for j in 0..=i {
+            u += h[j] * r[i - j];
+        }
+        // High partial products wrap with factor 2^130 ≡ 5 (mod p), which
+        // over 8-bit limbs shifted by 17 bytes is a factor of 5 * 2^6 = 320.
+        for j in (i + 1)..17 {
+            u += 320 * h[j] * r[i + 17 - j];
+        }
+        hr[i] = u;
+    }
+    // Carry propagation back to 8-bit limbs, twice to settle.
+    for _ in 0..2 {
+        let mut carry = 0u32;
+        for (i, v) in hr.iter_mut().enumerate() {
+            carry += *v;
+            if i < 16 {
+                *v = carry & 0xFF;
+                carry >>= 8;
+            } else {
+                *v = carry & 0x03;
+                carry = 5 * (carry >> 2);
+            }
+        }
+        hr[0] += carry;
+    }
+    *h = hr;
+}
+
+/// Computes the Poly1305 tag of `msg` under the one-time `key`.
+pub fn poly1305(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
+    // Clamp r.
+    let mut r = [0u32; 17];
+    for i in 0..16 {
+        r[i] = key[i] as u32;
+    }
+    r[3] &= 15;
+    r[7] &= 15;
+    r[11] &= 15;
+    r[15] &= 15;
+    r[4] &= 252;
+    r[8] &= 252;
+    r[12] &= 252;
+
+    let mut h = [0u32; 17];
+    let mut offset = 0;
+    while offset < msg.len() {
+        let block = &msg[offset..msg.len().min(offset + 16)];
+        let mut c = [0u32; 17];
+        for (i, &b) in block.iter().enumerate() {
+            c[i] = b as u32;
+        }
+        c[block.len()] = 1; // the "1" pad bit
+        add(&mut h, &c);
+        mulmod(&mut h, &r);
+        offset += 16;
+    }
+    freeze(&mut h);
+
+    // Add s (the second key half) modulo 2^128.
+    let mut s = [0u32; 17];
+    for i in 0..16 {
+        s[i] = key[16 + i] as u32;
+    }
+    add(&mut h, &s);
+    let mut tag = [0u8; TAG_LEN];
+    for i in 0..16 {
+        tag[i] = h[i] as u8;
+    }
+    tag
+}
+
+/// Constant-time tag comparison.
+pub fn tags_equal(a: &[u8; TAG_LEN], b: &[u8; TAG_LEN]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..TAG_LEN {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2.
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = poly1305(&key, msg);
+        let expected: [u8; 16] = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(tag, expected);
+    }
+
+    #[test]
+    fn empty_message() {
+        // Tag of empty message is just s.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let tag = poly1305(&key, b"");
+        assert_eq!(&tag[..], &key[16..32]);
+    }
+
+    #[test]
+    fn tag_changes_with_message() {
+        let key = [0x42u8; 32];
+        let t1 = poly1305(&key, b"message one");
+        let t2 = poly1305(&key, b"message two");
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn tag_changes_with_single_bit_flip() {
+        let key = [0x42u8; 32];
+        let base = poly1305(&key, b"therapy parameters update");
+        let mut msg = b"therapy parameters update".to_vec();
+        for byte in 0..msg.len() {
+            msg[byte] ^= 1;
+            assert_ne!(poly1305(&key, &msg), base, "flip at {byte} undetected");
+            msg[byte] ^= 1;
+        }
+    }
+
+    #[test]
+    fn tag_changes_with_key() {
+        let t1 = poly1305(&[1u8; 32], b"same message");
+        let t2 = poly1305(&[2u8; 32], b"same message");
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Exercise lengths around the 16-byte block boundary.
+        let key = [0x17u8; 32];
+        let mut tags = Vec::new();
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 64] {
+            let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            tags.push(poly1305(&key, &msg));
+        }
+        // All distinct.
+        for i in 0..tags.len() {
+            for j in (i + 1)..tags.len() {
+                assert_ne!(tags[i], tags[j], "lengths {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_time_compare() {
+        let a = [1u8; 16];
+        let mut b = [1u8; 16];
+        assert!(tags_equal(&a, &b));
+        b[15] ^= 0x80;
+        assert!(!tags_equal(&a, &b));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the cryptographic channel.
+
+use hb_crypto::aead::{open, seal};
+use hb_crypto::chacha20::chacha20_xor;
+use hb_crypto::poly1305::poly1305;
+use hb_crypto::session::SecureSession;
+use proptest::prelude::*;
+
+proptest! {
+    /// AEAD round-trips any key/nonce/aad/plaintext combination.
+    #[test]
+    fn aead_roundtrip(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+        pt in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let sealed = seal(&key, &nonce, &aad, &pt);
+        prop_assert_eq!(sealed.len(), pt.len() + 16);
+        prop_assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), pt);
+    }
+
+    /// Any single-byte tamper anywhere in the sealed frame is rejected.
+    #[test]
+    fn aead_tamper_rejected(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        pt in prop::collection::vec(any::<u8>(), 1..128),
+        idx in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut sealed = seal(&key, &nonce, b"hdr", &pt);
+        let i = idx.index(sealed.len());
+        sealed[i] ^= xor;
+        prop_assert!(open(&key, &nonce, b"hdr", &sealed).is_err());
+    }
+
+    /// ChaCha20 XOR is an involution for any key/nonce/counter.
+    #[test]
+    fn chacha_involution(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        counter in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut buf = data.clone();
+        chacha20_xor(&key, counter, &nonce, &mut buf);
+        chacha20_xor(&key, counter, &nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Poly1305 is deterministic and message-sensitive.
+    #[test]
+    fn poly1305_sensitivity(
+        key in prop::array::uniform32(any::<u8>()),
+        msg in prop::collection::vec(any::<u8>(), 1..128),
+        idx in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let t1 = poly1305(&key, &msg);
+        prop_assert_eq!(poly1305(&key, &msg), t1);
+        let mut tampered = msg.clone();
+        let i = idx.index(tampered.len());
+        tampered[i] ^= xor;
+        prop_assert_ne!(poly1305(&key, &tampered), t1);
+    }
+
+    /// A session accepts messages exactly once and in order.
+    #[test]
+    fn session_exactly_once(
+        key in prop::array::uniform32(any::<u8>()),
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..6),
+        drop_idx in any::<prop::sample::Index>(),
+    ) {
+        // Even with a dropped frame, later frames still verify (counters
+        // may skip forward, never backward).
+        let mut prog = SecureSession::programmer_side(key);
+        let mut shield = SecureSession::shield_side(key);
+        let dropped = drop_idx.index(msgs.len());
+        for (i, m) in msgs.iter().enumerate() {
+            let frame = prog.seal_frame(m);
+            if i == dropped && msgs.len() > 1 {
+                continue; // lost on the air
+            }
+            prop_assert_eq!(&shield.open_frame(&frame).unwrap(), m);
+            prop_assert!(shield.open_frame(&frame).is_err(), "replay accepted");
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! A minimal complex-number type for baseband signal processing.
+//!
+//! We deliberately implement this ourselves instead of pulling in an external
+//! crate: the simulator needs only a handful of operations (arithmetic,
+//! conjugation, polar conversion) and keeping the type local lets us guarantee
+//! `#[repr(C)]` layout and write exhaustive property tests against it.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components, used for all baseband samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C64 {
+    /// Real (in-phase) component.
+    pub re: f64,
+    /// Imaginary (quadrature) component.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const J: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form: `r * e^(j*theta)`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `e^(j*theta)` — a unit phasor at angle `theta` radians.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude, `re^2 + im^2`. Cheaper than [`C64::abs`]; this is
+    /// the instantaneous power of a baseband sample.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns non-finite components when `self` is
+    /// zero, mirroring `1.0 / 0.0` semantics for floats.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sq();
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        C64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Complex exponential `e^self`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Returns true if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+/// Average power (mean squared magnitude) of a sample slice.
+///
+/// Returns 0.0 for an empty slice.
+pub fn mean_power(samples: &[C64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| s.norm_sq()).sum::<f64>() / samples.len() as f64
+}
+
+/// Total energy (sum of squared magnitudes) of a sample slice.
+pub fn energy(samples: &[C64]) -> f64 {
+    samples.iter().map(|s| s.norm_sq()).sum::<f64>()
+}
+
+/// In-place scaling of a sample slice by a real factor.
+pub fn scale_in_place(samples: &mut [C64], k: f64) {
+    for s in samples.iter_mut() {
+        *s = s.scale(k);
+    }
+}
+
+/// Inner product `<a, b> = sum(a[i] * conj(b[i]))`.
+///
+/// The slices must have equal length; extra samples in the longer slice are
+/// ignored (zip semantics).
+pub fn inner_product(a: &[C64], b: &[C64]) -> C64 {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y.conj()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = C64::new(1.5, -2.5);
+        let b = C64::new(-0.25, 4.0);
+        assert!(close(a + b - b, a));
+    }
+
+    #[test]
+    fn mul_matches_expansion() {
+        let a = C64::new(3.0, 4.0);
+        let b = C64::new(-1.0, 2.0);
+        // (3+4j)(-1+2j) = -3 + 6j - 4j + 8j^2 = -11 + 2j
+        assert!(close(a * b, C64::new(-11.0, 2.0)));
+    }
+
+    #[test]
+    fn div_is_mul_inverse() {
+        let a = C64::new(3.0, 4.0);
+        let b = C64::new(-1.0, 2.0);
+        assert!(close(a / b * b, a));
+    }
+
+    #[test]
+    fn conj_mul_is_norm_sq() {
+        let a = C64::new(3.0, 4.0);
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < EPS);
+        assert!(p.im.abs() < EPS);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let a = C64::from_polar(2.0, 0.7);
+        assert!((a.abs() - 2.0).abs() < EPS);
+        assert!((a.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.41;
+            assert!((C64::cis(theta).abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn exp_of_j_pi_is_minus_one() {
+        let e = C64::new(0.0, std::f64::consts::PI).exp();
+        assert!(close(e, C64::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let a = C64::new(-3.0, 4.0);
+        let r = a.sqrt();
+        assert!(close(r * r, a));
+    }
+
+    #[test]
+    fn mean_power_of_unit_phasors_is_one() {
+        let v: Vec<C64> = (0..100).map(|k| C64::cis(k as f64)).collect();
+        assert!((mean_power(&v) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mean_power_empty_is_zero() {
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn inner_product_orthogonal_tones() {
+        let n = 64;
+        let a: Vec<C64> = (0..n)
+            .map(|k| C64::cis(2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        let b: Vec<C64> = (0..n)
+            .map(|k| C64::cis(4.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        assert!(inner_product(&a, &b).abs() < 1e-9);
+        assert!((inner_product(&a, &a).re - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_in_place_doubles_power() {
+        let mut v = vec![C64::new(1.0, 1.0); 8];
+        let p0 = mean_power(&v);
+        scale_in_place(&mut v, std::f64::consts::SQRT_2);
+        assert!((mean_power(&v) - 2.0 * p0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", C64::new(1.0, 2.0)), "1+2j");
+        assert_eq!(format!("{}", C64::new(1.0, -2.0)), "1-2j");
+    }
+}

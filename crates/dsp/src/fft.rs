@@ -1,0 +1,293 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! A straightforward iterative Cooley–Tukey implementation. Sizes must be
+//! powers of two; callers that need other lengths zero-pad (see
+//! [`next_pow2`]). Twiddle factors are cached in an [`FftPlan`] so repeated
+//! transforms of the same size (the common case: the jammer shapes noise in
+//! fixed-size blocks) avoid recomputing them.
+
+use crate::complex::C64;
+use std::f64::consts::PI;
+
+/// Smallest power of two `>= n` (and at least 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Returns true if `n` is a power of two.
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// A reusable FFT plan for a fixed power-of-two size.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Forward twiddles for each butterfly stage, flattened.
+    twiddles: Vec<C64>,
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `n` (must be a power of two).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(is_pow2(n), "FFT size must be a power of two, got {n}");
+        // Precompute e^{-2 pi j k / n} for k in 0..n/2.
+        let half = n / 2;
+        let twiddles = (0..half)
+            .map(|k| C64::cis(-2.0 * PI * k as f64 / n as f64))
+            .collect();
+        FftPlan { n, twiddles }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true for the degenerate size-0 plan (never constructible; kept
+    /// for API completeness with `len`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT (no normalization).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [C64]) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        self.transform(data, false);
+    }
+
+    /// In-place inverse FFT with `1/n` normalization, so
+    /// `inverse(forward(x)) == x`.
+    pub fn inverse(&self, data: &mut [C64]) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        self.transform(data, true);
+        let k = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+
+    fn transform(&self, data: &mut [C64], inverse: bool) {
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        let shift = (n as u64).leading_zeros() + 1;
+        for i in 0..n {
+            let j = (i as u64).reverse_bits().wrapping_shr(shift) as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len; // step through the cached twiddle table
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+/// One-shot forward FFT returning a new vector. Input is zero-padded to the
+/// next power of two if needed.
+pub fn fft(input: &[C64]) -> Vec<C64> {
+    let n = next_pow2(input.len());
+    let mut buf = vec![C64::ZERO; n];
+    buf[..input.len()].copy_from_slice(input);
+    FftPlan::new(n).forward(&mut buf);
+    buf
+}
+
+/// One-shot inverse FFT returning a new vector (input length must be a power
+/// of two).
+pub fn ifft(input: &[C64]) -> Vec<C64> {
+    assert!(is_pow2(input.len()), "ifft input must be power-of-two sized");
+    let mut buf = input.to_vec();
+    FftPlan::new(buf.len()).inverse(&mut buf);
+    buf
+}
+
+/// Rotates a spectrum so the DC bin sits in the middle (for plotting /
+/// profile extraction). For even `n`, bin `n/2` becomes the most negative
+/// frequency.
+pub fn fftshift<T: Copy>(spectrum: &[T]) -> Vec<T> {
+    let n = spectrum.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&spectrum[half..]);
+    out.extend_from_slice(&spectrum[..half]);
+    out
+}
+
+/// Frequency in Hz of FFT bin `k` for an `n`-point transform at sample rate
+/// `fs`, using the signed convention (bins above `n/2` are negative).
+pub fn bin_freq_hz(k: usize, n: usize, fs: f64) -> f64 {
+    let k = k % n;
+    if k <= n / 2 {
+        k as f64 * fs / n as f64
+    } else {
+        (k as f64 - n as f64) * fs / n as f64
+    }
+}
+
+/// Naive O(n^2) DFT used as a test oracle.
+#[doc(hidden)]
+pub fn dft_reference(input: &[C64]) -> Vec<C64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|t| input[t] * C64::cis(-2.0 * PI * (k * t) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::mean_power;
+
+    fn assert_close(a: &[C64], b: &[C64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() < tol, "mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        let input: Vec<C64> = (0..32)
+            .map(|i| C64::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let fast = fft(&input);
+        let slow = dft_reference(&input);
+        assert_close(&fast, &slow, 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let input: Vec<C64> = (0..256)
+            .map(|i| C64::new((i as f64).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let back = ifft(&fft(&input));
+        assert_close(&back, &input, 1e-9);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat() {
+        let mut input = vec![C64::ZERO; 64];
+        input[0] = C64::ONE;
+        let spec = fft(&input);
+        for v in spec {
+            assert!((v - C64::ONE).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn tone_lands_in_single_bin() {
+        let n = 128;
+        let k0 = 5;
+        let input: Vec<C64> = (0..n)
+            .map(|t| C64::cis(2.0 * PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        let spec = fft(&input);
+        for (k, v) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f64).abs() < 1e-8);
+            } else {
+                assert!(v.abs() < 1e-8, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let input: Vec<C64> = (0..64)
+            .map(|i| C64::new((i as f64 * 0.11).cos(), (i as f64 * 0.23).sin()))
+            .collect();
+        let spec = fft(&input);
+        let time_energy: f64 = input.iter().map(|v| v.norm_sq()).sum();
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sq()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<C64> = (0..32).map(|i| C64::new(i as f64, 0.0)).collect();
+        let b: Vec<C64> = (0..32).map(|i| C64::new(0.0, (i * i) as f64)).collect();
+        let sum: Vec<C64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        let combined: Vec<C64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&fsum, &combined, 1e-8);
+    }
+
+    #[test]
+    fn zero_pads_non_pow2_input() {
+        let input = vec![C64::ONE; 100];
+        let spec = fft(&input);
+        assert_eq!(spec.len(), 128);
+    }
+
+    #[test]
+    fn fftshift_even_and_odd() {
+        assert_eq!(fftshift(&[0, 1, 2, 3]), vec![2, 3, 0, 1]);
+        assert_eq!(fftshift(&[0, 1, 2, 3, 4]), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bin_freqs_are_signed() {
+        let fs = 300e3;
+        let n = 8;
+        assert_eq!(bin_freq_hz(0, n, fs), 0.0);
+        assert!((bin_freq_hz(1, n, fs) - 37.5e3).abs() < 1e-9);
+        assert!((bin_freq_hz(7, n, fs) + 37.5e3).abs() < 1e-9);
+        assert!((bin_freq_hz(4, n, fs) - 150e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_one_and_two() {
+        let one = fft(&[C64::new(3.0, -1.0)]);
+        assert_close(&one, &[C64::new(3.0, -1.0)], 1e-12);
+        let two = fft(&[C64::ONE, C64::ONE]);
+        assert_close(&two, &[C64::new(2.0, 0.0), C64::ZERO], 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn plan_rejects_non_pow2() {
+        let _ = FftPlan::new(48);
+    }
+
+    #[test]
+    fn ifft_preserves_noise_power() {
+        // White spectrum of unit-power bins -> unit-power time signal.
+        let n = 1024;
+        let spec: Vec<C64> = (0..n).map(|k| C64::cis(k as f64 * 2.399)).collect();
+        let time = ifft(&spec);
+        // Power scales by 1/n after IFFT normalization.
+        assert!((mean_power(&time) - 1.0 / n as f64).abs() < 1e-12);
+    }
+}

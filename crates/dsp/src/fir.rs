@@ -1,0 +1,264 @@
+//! FIR filter design (windowed-sinc) and streaming filtering.
+//!
+//! The shield's wideband front end channelizes the 3 MHz MICS band with
+//! per-channel band-pass filters (§7(c) of the paper), and the band-pass
+//! filtering *attack* on unshaped jamming (§6(a)) needs narrow filters around
+//! the FSK mark/space tones. Both are built here.
+
+use crate::complex::C64;
+use crate::special::sinc;
+use crate::window::Window;
+use std::collections::VecDeque;
+use std::f64::consts::PI;
+
+/// Designs a linear-phase low-pass FIR prototype with the windowed-sinc
+/// method.
+///
+/// * `cutoff_hz` — one-sided cutoff.
+/// * `fs_hz` — sample rate.
+/// * `taps` — filter length (forced odd so the filter has a symmetric
+///   center tap).
+pub fn design_lowpass(cutoff_hz: f64, fs_hz: f64, taps: usize, window: Window) -> Vec<f64> {
+    assert!(cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0, "cutoff out of range");
+    let taps = if taps % 2 == 0 { taps + 1 } else { taps };
+    let fc = cutoff_hz / fs_hz; // normalized 0..0.5
+    let mid = (taps / 2) as isize;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|n| {
+            let m = n as isize - mid;
+            2.0 * fc * sinc(2.0 * fc * m as f64) * window.value(n, taps)
+        })
+        .collect();
+    // Normalize to unit DC gain.
+    let sum: f64 = h.iter().sum();
+    for v in h.iter_mut() {
+        *v /= sum;
+    }
+    h
+}
+
+/// Designs a complex band-pass filter centered at `center_hz` (which may be
+/// negative — we work at complex baseband) with two-sided bandwidth
+/// `bandwidth_hz`, by modulating a low-pass prototype.
+pub fn design_bandpass_complex(
+    center_hz: f64,
+    bandwidth_hz: f64,
+    fs_hz: f64,
+    taps: usize,
+    window: Window,
+) -> Vec<C64> {
+    let lp = design_lowpass(bandwidth_hz / 2.0, fs_hz, taps, window);
+    lp.iter()
+        .enumerate()
+        .map(|(n, &h)| C64::from_polar(h, 2.0 * PI * center_hz * n as f64 / fs_hz))
+        .collect()
+}
+
+/// Full convolution of `signal` with real `taps`; output length is
+/// `signal.len() + taps.len() - 1`.
+pub fn convolve_real(signal: &[C64], taps: &[f64]) -> Vec<C64> {
+    let mut out = vec![C64::ZERO; signal.len() + taps.len() - 1];
+    for (i, &x) in signal.iter().enumerate() {
+        for (j, &h) in taps.iter().enumerate() {
+            out[i + j] += x.scale(h);
+        }
+    }
+    out
+}
+
+/// "Same-size" filtering: convolves and trims the group delay so the output
+/// aligns with the input.
+pub fn filter_same(signal: &[C64], taps: &[f64]) -> Vec<C64> {
+    let full = convolve_real(signal, taps);
+    let delay = taps.len() / 2;
+    full[delay..delay + signal.len()].to_vec()
+}
+
+/// A streaming FIR filter with complex taps and internal state, for
+/// block-at-a-time processing in the simulation executive.
+#[derive(Debug, Clone)]
+pub struct StreamingFir {
+    taps: Vec<C64>,
+    /// Delay line; newest sample at the back.
+    history: VecDeque<C64>,
+}
+
+impl StreamingFir {
+    /// Creates a streaming filter from complex taps.
+    pub fn new(taps: Vec<C64>) -> Self {
+        assert!(!taps.is_empty(), "filter needs at least one tap");
+        let len = taps.len();
+        StreamingFir {
+            taps,
+            history: VecDeque::from(vec![C64::ZERO; len]),
+        }
+    }
+
+    /// Creates a streaming filter from real taps.
+    pub fn from_real(taps: &[f64]) -> Self {
+        Self::new(taps.iter().map(|&t| C64::real(t)).collect())
+    }
+
+    /// Processes one sample, returning one output sample.
+    pub fn push(&mut self, x: C64) -> C64 {
+        self.history.pop_front();
+        self.history.push_back(x);
+        let n = self.taps.len();
+        let mut acc = C64::ZERO;
+        for (k, &h) in self.taps.iter().enumerate() {
+            // taps[0] multiplies the newest sample.
+            acc += self.history[n - 1 - k] * h;
+        }
+        acc
+    }
+
+    /// Processes a block of samples.
+    pub fn process(&mut self, block: &[C64]) -> Vec<C64> {
+        block.iter().map(|&x| self.push(x)).collect()
+    }
+
+    /// Resets the delay line to zeros.
+    pub fn reset(&mut self) {
+        for v in self.history.iter_mut() {
+            *v = C64::ZERO;
+        }
+    }
+
+    /// Filter length in taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Always false; filters have at least one tap.
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+}
+
+/// Measures the magnitude response (linear) of real taps at `freq_hz`.
+pub fn frequency_response(taps: &[f64], freq_hz: f64, fs_hz: f64) -> f64 {
+    let w = 2.0 * PI * freq_hz / fs_hz;
+    taps.iter()
+        .enumerate()
+        .map(|(n, &h)| C64::from_polar(h, -w * n as f64))
+        .sum::<C64>()
+        .abs()
+}
+
+/// Measures the magnitude response of complex taps at `freq_hz`.
+pub fn frequency_response_complex(taps: &[C64], freq_hz: f64, fs_hz: f64) -> f64 {
+    let w = 2.0 * PI * freq_hz / fs_hz;
+    taps.iter()
+        .enumerate()
+        .map(|(n, &h)| h * C64::cis(-w * n as f64))
+        .sum::<C64>()
+        .abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_passes_dc_blocks_high() {
+        let fs = 300e3;
+        let taps = design_lowpass(30e3, fs, 63, Window::Hamming);
+        let dc = frequency_response(&taps, 0.0, fs);
+        let pass = frequency_response(&taps, 10e3, fs);
+        let stop = frequency_response(&taps, 120e3, fs);
+        assert!((dc - 1.0).abs() < 1e-9, "dc gain {dc}");
+        assert!(pass > 0.9, "passband gain {pass}");
+        assert!(stop < 0.01, "stopband gain {stop}");
+    }
+
+    #[test]
+    fn lowpass_is_symmetric_linear_phase() {
+        let taps = design_lowpass(50e3, 300e3, 41, Window::Blackman);
+        for i in 0..taps.len() {
+            assert!((taps[i] - taps[taps.len() - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bandpass_centers_on_target() {
+        let fs = 300e3;
+        let taps = design_bandpass_complex(50e3, 20e3, fs, 81, Window::Hamming);
+        let on = frequency_response_complex(&taps, 50e3, fs);
+        let off = frequency_response_complex(&taps, -50e3, fs);
+        let far = frequency_response_complex(&taps, 120e3, fs);
+        assert!(on > 0.9, "center gain {on}");
+        assert!(off < 0.02, "mirror gain {off}");
+        assert!(far < 0.02, "far gain {far}");
+    }
+
+    #[test]
+    fn negative_center_bandpass() {
+        let fs = 300e3;
+        let taps = design_bandpass_complex(-50e3, 20e3, fs, 81, Window::Hamming);
+        assert!(frequency_response_complex(&taps, -50e3, fs) > 0.9);
+        assert!(frequency_response_complex(&taps, 50e3, fs) < 0.02);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let fs = 300e3;
+        let taps = design_lowpass(40e3, fs, 31, Window::Hann);
+        let signal: Vec<C64> = (0..200)
+            .map(|n| C64::cis(2.0 * PI * 10e3 * n as f64 / fs))
+            .collect();
+        let batch = convolve_real(&signal, &taps);
+        let mut f = StreamingFir::from_real(&taps);
+        let stream = f.process(&signal);
+        // Streaming output equals the first signal.len() samples of the full
+        // convolution.
+        for i in 0..signal.len() {
+            assert!((stream[i] - batch[i]).abs() < 1e-9, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_blocks_equal_one_shot() {
+        let taps = design_lowpass(40e3, 300e3, 21, Window::Hamming);
+        let signal: Vec<C64> = (0..100).map(|n| C64::new((n as f64).sin(), 0.0)).collect();
+        let mut f1 = StreamingFir::from_real(&taps);
+        let whole = f1.process(&signal);
+        let mut f2 = StreamingFir::from_real(&taps);
+        let mut chunks = Vec::new();
+        for c in signal.chunks(7) {
+            chunks.extend(f2.process(c));
+        }
+        for (a, b) in whole.iter().zip(&chunks) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filter_same_preserves_length_and_aligns() {
+        let fs = 300e3;
+        let taps = design_lowpass(60e3, fs, 41, Window::Hamming);
+        let tone: Vec<C64> = (0..256)
+            .map(|n| C64::cis(2.0 * PI * 5e3 * n as f64 / fs))
+            .collect();
+        let out = filter_same(&tone, &taps);
+        assert_eq!(out.len(), tone.len());
+        // Mid-signal samples should closely track the input (in-band tone).
+        for i in 60..200 {
+            assert!((out[i] - tone[i]).abs() < 0.05, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = StreamingFir::from_real(&[0.5, 0.5]);
+        f.push(C64::ONE);
+        f.reset();
+        let y = f.push(C64::ZERO);
+        assert!(y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_tap_request_rounds_up() {
+        let taps = design_lowpass(10e3, 300e3, 10, Window::Hamming);
+        assert_eq!(taps.len(), 11);
+    }
+}

@@ -1,0 +1,36 @@
+//! # hb-dsp — complex-baseband DSP substrate
+//!
+//! Numerics foundation for the *heartbeats* workspace, a reproduction of
+//! "They Can Hear Your Heartbeats: Non-Invasive Security for Implantable
+//! Medical Devices" (SIGCOMM 2011).
+//!
+//! Everything operates on [`complex::C64`] baseband samples:
+//!
+//! * [`fft`] — radix-2 FFT/IFFT with cached plans.
+//! * [`fir`] — windowed-sinc filter design and streaming filters (the
+//!   shield's channelizer and the eavesdropper's band-pass attack).
+//! * [`goertzel`] — single-bin DFT (the FSK tone matched filter).
+//! * [`noise`] — white and **PSD-shaped** Gaussian noise (the jamming
+//!   signal construction of §6(a) of the paper).
+//! * [`spectrum`] — Welch PSD estimation and power profiles (Fig. 4/5).
+//! * [`cfo`] — carrier frequency offset modeling and estimation.
+//! * [`window`], [`special`], [`units`], [`stats`] — supporting math.
+//!
+//! The crate has no unsafe code and every public item is documented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfo;
+pub mod complex;
+pub mod fft;
+pub mod fir;
+pub mod goertzel;
+pub mod noise;
+pub mod special;
+pub mod spectrum;
+pub mod stats;
+pub mod units;
+pub mod window;
+
+pub use complex::C64;

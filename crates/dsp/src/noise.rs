@@ -1,0 +1,269 @@
+//! Noise generation: white complex Gaussian noise and **PSD-shaped** random
+//! noise.
+//!
+//! The shaped generator implements the jamming-signal construction of §6(a)
+//! of the paper: draw independent white Gaussian values for each frequency
+//! bin, set each bin's variance to match a target power profile, then IFFT to
+//! obtain a time-domain signal whose spectrum matches the profile. This lets
+//! the shield concentrate jamming power at the FSK mark/space tones instead
+//! of spreading it across the whole 300 kHz channel.
+
+use crate::complex::{mean_power, C64};
+use crate::fft::{is_pow2, FftPlan};
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Draws one standard normal variate via the Box–Muller transform.
+///
+/// We implement this directly on `rand::Rng` instead of pulling in
+/// `rand_distr`; two uniforms per pair of normals is plenty fast for the
+/// simulator.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 1e-300 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// Draws one circularly-symmetric complex Gaussian sample with total
+/// variance `variance` (i.e. `variance/2` per real dimension).
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> C64 {
+    let s = (variance / 2.0).sqrt();
+    C64::new(standard_normal(rng) * s, standard_normal(rng) * s)
+}
+
+/// Generates `n` samples of white complex Gaussian noise with average power
+/// `power` (linear).
+pub fn white_noise<R: Rng + ?Sized>(rng: &mut R, n: usize, power: f64) -> Vec<C64> {
+    (0..n).map(|_| complex_gaussian(rng, power)).collect()
+}
+
+/// A generator of random noise whose power spectral density follows a caller
+/// supplied per-bin profile.
+///
+/// Block-based: each call to [`ShapedNoise::block`] produces `fft_size`
+/// fresh samples. Blocks are independent, which is exactly what a jammer
+/// wants — there is no exploitable correlation across blocks.
+#[derive(Debug, Clone)]
+pub struct ShapedNoise {
+    plan: FftPlan,
+    /// Per-bin amplitude scale (sqrt of the bin's target power share).
+    bin_scale: Vec<f64>,
+}
+
+impl ShapedNoise {
+    /// Creates a generator from a per-bin *power* profile (unnormalized;
+    /// only the shape matters). `profile.len()` must be a power of two and
+    /// uses standard FFT bin ordering (bin 0 = DC, upper half = negative
+    /// frequencies).
+    ///
+    /// The generated time-domain signal has average power 1.0; scale it to
+    /// the desired transmit power with [`crate::complex::scale_in_place`].
+    pub fn new(profile: &[f64]) -> Self {
+        assert!(is_pow2(profile.len()), "profile length must be a power of two");
+        assert!(
+            profile.iter().all(|&p| p >= 0.0),
+            "power profile must be non-negative"
+        );
+        let total: f64 = profile.iter().sum();
+        assert!(total > 0.0, "power profile must not be all zero");
+        let n = profile.len() as f64;
+        // Normalize so that the time-domain output has unit average power.
+        // With X[k] ~ CN(0, sigma_k^2) and x = IFFT(X) (1/N convention),
+        // E|x[t]|^2 = (1/N^2) * sum_k sigma_k^2. Setting
+        // sigma_k^2 = N^2 * p_k / sum(p) yields unit power.
+        let bin_scale = profile
+            .iter()
+            .map(|&p| (n * n * p / total).sqrt())
+            .collect();
+        ShapedNoise {
+            plan: FftPlan::new(profile.len()),
+            bin_scale,
+        }
+    }
+
+    /// Creates a flat (constant-profile) generator over the whole band —
+    /// the "oblivious" jammer of Fig. 5.
+    pub fn flat(fft_size: usize) -> Self {
+        Self::new(&vec![1.0; fft_size])
+    }
+
+    /// Number of samples produced per block.
+    pub fn block_len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Generates one block of shaped noise with unit average power
+    /// (in expectation).
+    pub fn block<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<C64> {
+        let mut spec: Vec<C64> = self
+            .bin_scale
+            .iter()
+            .map(|&s| complex_gaussian(rng, s * s))
+            .collect();
+        self.plan.inverse(&mut spec);
+        spec
+    }
+
+    /// Generates at least `n` samples by concatenating blocks, then truncates
+    /// to exactly `n`.
+    pub fn samples<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<C64> {
+        let mut out = Vec::with_capacity(n + self.block_len());
+        while out.len() < n {
+            out.extend(self.block(rng));
+        }
+        out.truncate(n);
+        out
+    }
+}
+
+/// Scales `samples` in place so their *measured* mean power equals `power`.
+/// No-op for all-zero input.
+pub fn set_mean_power(samples: &mut [C64], power: f64) {
+    let p = mean_power(samples);
+    if p > 0.0 {
+        let k = (power / p).sqrt();
+        for s in samples.iter_mut() {
+            *s = s.scale(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn white_noise_power_and_circularity() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let v = white_noise(&mut rng, 100_000, 2.5);
+        let p = mean_power(&v);
+        assert!((p - 2.5).abs() < 0.05, "power {p}");
+        // Circular symmetry: E[x^2] ~ 0 (not just E[|x|^2]).
+        let pseudo: C64 = v.iter().map(|&x| x * x).sum::<C64>() / v.len() as f64;
+        assert!(pseudo.abs() < 0.05, "pseudo-variance {pseudo}");
+    }
+
+    #[test]
+    fn shaped_noise_unit_power() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut profile = vec![0.0; 256];
+        // Two tone clusters like FSK.
+        for k in 40..48 {
+            profile[k] = 1.0;
+            profile[256 - k] = 1.0;
+        }
+        let gen = ShapedNoise::new(&profile);
+        let s = gen.samples(&mut rng, 65_536);
+        let p = mean_power(&s);
+        assert!((p - 1.0).abs() < 0.05, "power {p}");
+    }
+
+    #[test]
+    fn shaped_noise_concentrates_power_in_profile_bins() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 256;
+        let mut profile = vec![0.0; n];
+        for k in 40..48 {
+            profile[k] = 1.0;
+        }
+        let gen = ShapedNoise::new(&profile);
+        // Average the spectrum over many blocks.
+        let mut acc = vec![0.0; n];
+        let blocks = 200;
+        for _ in 0..blocks {
+            let b = gen.block(&mut rng);
+            let spec = fft(&b);
+            for (k, v) in spec.iter().enumerate() {
+                acc[k] += v.norm_sq();
+            }
+        }
+        let in_band: f64 = (40..48).map(|k| acc[k]).sum();
+        let total: f64 = acc.iter().sum();
+        assert!(
+            in_band / total > 0.99,
+            "in-band fraction {}",
+            in_band / total
+        );
+    }
+
+    #[test]
+    fn flat_noise_is_spectrally_flat() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 128;
+        let gen = ShapedNoise::flat(n);
+        let mut acc = vec![0.0; n];
+        for _ in 0..500 {
+            let spec = fft(&gen.block(&mut rng));
+            for (k, v) in spec.iter().enumerate() {
+                acc[k] += v.norm_sq();
+            }
+        }
+        let mean = acc.iter().sum::<f64>() / n as f64;
+        for (k, &a) in acc.iter().enumerate() {
+            assert!(
+                (a - mean).abs() / mean < 0.25,
+                "bin {k} deviates: {} vs {}",
+                a,
+                mean
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_are_statistically_independent() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let gen = ShapedNoise::flat(64);
+        let a = gen.block(&mut rng);
+        let b = gen.block(&mut rng);
+        let corr = crate::complex::inner_product(&a, &b).abs()
+            / (crate::complex::energy(&a).sqrt() * crate::complex::energy(&b).sqrt());
+        assert!(corr < 0.35, "cross-block correlation {corr}");
+    }
+
+    #[test]
+    fn set_mean_power_hits_target() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v = white_noise(&mut rng, 1000, 1.0);
+        set_mean_power(&mut v, 0.125);
+        assert!((mean_power(&v) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_mean_power_zero_signal_noop() {
+        let mut v = vec![C64::ZERO; 16];
+        set_mean_power(&mut v, 1.0);
+        assert!(v.iter().all(|s| *s == C64::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn shaped_rejects_non_pow2() {
+        let _ = ShapedNoise::new(&[1.0; 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all zero")]
+    fn shaped_rejects_zero_profile() {
+        let _ = ShapedNoise::new(&[0.0; 64]);
+    }
+}

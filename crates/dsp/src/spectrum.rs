@@ -1,0 +1,222 @@
+//! Spectral estimation: periodogram and Welch-averaged power spectral
+//! density, plus helpers to extract the normalized **power profile** of a
+//! signal — the quantity the shield matches when shaping its jamming signal
+//! (Fig. 4 and Fig. 5 of the paper).
+
+use crate::complex::C64;
+use crate::fft::{fftshift, FftPlan};
+use crate::window::Window;
+
+/// A power spectral density estimate.
+#[derive(Debug, Clone)]
+pub struct Psd {
+    /// Per-bin power, in FFT bin order (DC first).
+    pub power: Vec<f64>,
+    /// Sample rate used, in Hz.
+    pub fs_hz: f64,
+}
+
+impl Psd {
+    /// Number of frequency bins.
+    pub fn len(&self) -> usize {
+        self.power.len()
+    }
+
+    /// True if the estimate has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.power.is_empty()
+    }
+
+    /// Returns `(freq_hz, power)` pairs, shifted so frequencies ascend from
+    /// `-fs/2` to `+fs/2` — the form used for plotting Fig. 4/5.
+    pub fn shifted(&self) -> Vec<(f64, f64)> {
+        let n = self.len();
+        let shifted = fftshift(&self.power);
+        shifted
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let k = i as f64 - (n - n / 2) as f64;
+                (k * self.fs_hz / n as f64, p)
+            })
+            .collect()
+    }
+
+    /// Total power across all bins.
+    pub fn total_power(&self) -> f64 {
+        self.power.iter().sum()
+    }
+
+    /// Normalizes so bins sum to 1, yielding a *power profile* suitable for
+    /// [`crate::noise::ShapedNoise::new`].
+    pub fn profile(&self) -> Vec<f64> {
+        let total = self.total_power();
+        if total <= 0.0 {
+            return vec![0.0; self.len()];
+        }
+        self.power.iter().map(|&p| p / total).collect()
+    }
+
+    /// Fraction of total power within `+/- half_width_hz` of `center_hz`.
+    pub fn power_fraction_near(&self, center_hz: f64, half_width_hz: f64) -> f64 {
+        let total = self.total_power();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let n = self.len();
+        let mut acc = 0.0;
+        for (k, &p) in self.power.iter().enumerate() {
+            let f = crate::fft::bin_freq_hz(k, n, self.fs_hz);
+            if (f - center_hz).abs() <= half_width_hz {
+                acc += p;
+            }
+        }
+        acc / total
+    }
+}
+
+/// Welch's method: splits the signal into `fft_size`-sample segments with
+/// 50% overlap, windows each, and averages the periodograms.
+///
+/// `fft_size` must be a power of two. Signals shorter than one segment are
+/// zero-padded into a single segment.
+pub fn welch_psd(signal: &[C64], fft_size: usize, window: Window, fs_hz: f64) -> Psd {
+    let plan = FftPlan::new(fft_size);
+    let w = window.coefficients(fft_size);
+    let w_energy: f64 = w.iter().map(|v| v * v).sum();
+    let hop = (fft_size / 2).max(1);
+
+    let mut acc = vec![0.0; fft_size];
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    loop {
+        let mut buf = vec![C64::ZERO; fft_size];
+        let avail = signal.len().saturating_sub(start).min(fft_size);
+        if avail == 0 && segments > 0 {
+            break;
+        }
+        for i in 0..avail {
+            buf[i] = signal[start + i].scale(w[i]);
+        }
+        plan.forward(&mut buf);
+        for (k, v) in buf.iter().enumerate() {
+            acc[k] += v.norm_sq();
+        }
+        segments += 1;
+        start += hop;
+        if start >= signal.len() {
+            break;
+        }
+    }
+    let norm = 1.0 / (segments as f64 * w_energy * fft_size as f64);
+    for v in acc.iter_mut() {
+        *v *= norm;
+    }
+    Psd {
+        power: acc,
+        fs_hz,
+    }
+}
+
+/// Single periodogram of the entire signal (zero-padded to a power of two).
+pub fn periodogram(signal: &[C64], fs_hz: f64) -> Psd {
+    let n = crate::fft::next_pow2(signal.len());
+    welch_psd(signal, n, Window::Rectangular, fs_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::white_noise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|t| C64::cis(2.0 * PI * freq * t as f64 / fs))
+            .collect()
+    }
+
+    #[test]
+    fn tone_peaks_at_right_bin() {
+        let fs = 300e3;
+        let sig = tone(50e3, fs, 4096);
+        let psd = welch_psd(&sig, 256, Window::Hann, fs);
+        let (peak_bin, _) = psd
+            .power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let peak_freq = crate::fft::bin_freq_hz(peak_bin, 256, fs);
+        assert!((peak_freq - 50e3).abs() < 2.0 * fs / 256.0, "peak at {peak_freq}");
+    }
+
+    #[test]
+    fn negative_tone_lands_in_negative_bins() {
+        let fs = 300e3;
+        let sig = tone(-50e3, fs, 4096);
+        let psd = welch_psd(&sig, 256, Window::Hann, fs);
+        assert!(psd.power_fraction_near(-50e3, 10e3) > 0.9);
+        assert!(psd.power_fraction_near(50e3, 10e3) < 0.05);
+    }
+
+    #[test]
+    fn white_noise_is_flat() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let sig = white_noise(&mut rng, 1 << 16, 1.0);
+        let psd = welch_psd(&sig, 128, Window::Hamming, 1.0);
+        let mean = psd.total_power() / psd.len() as f64;
+        for (k, &p) in psd.power.iter().enumerate() {
+            assert!((p - mean).abs() / mean < 0.3, "bin {k}: {p} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn profile_sums_to_one() {
+        let fs = 300e3;
+        let sig = tone(25e3, fs, 2048);
+        let psd = welch_psd(&sig, 128, Window::Hann, fs);
+        let prof = psd.profile();
+        let sum: f64 = prof.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_freq_axis_is_monotone() {
+        let psd = Psd {
+            power: vec![1.0; 64],
+            fs_hz: 300e3,
+        };
+        let pairs = psd.shifted();
+        assert_eq!(pairs.len(), 64);
+        for w in pairs.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        assert!(pairs[0].0 < 0.0);
+        assert!(pairs.last().unwrap().0 > 0.0);
+    }
+
+    #[test]
+    fn parseval_total_power_tracks_signal_power() {
+        // Welch with rectangular window and exactly one segment equals the
+        // normalized periodogram; total power should approximate mean power.
+        let mut rng = StdRng::seed_from_u64(4);
+        let sig = white_noise(&mut rng, 4096, 3.0);
+        let psd = welch_psd(&sig, 256, Window::Rectangular, 1.0);
+        assert!(
+            (psd.total_power() - 3.0).abs() < 0.3,
+            "total {}",
+            psd.total_power()
+        );
+    }
+
+    #[test]
+    fn short_signal_zero_padded() {
+        let sig = tone(10e3, 300e3, 50);
+        let psd = welch_psd(&sig, 256, Window::Hann, 300e3);
+        assert_eq!(psd.len(), 256);
+        assert!(psd.total_power() > 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Decibel and power-unit conversions used throughout the link-budget math.
+//!
+//! Conventions:
+//! * Power ratios use `10*log10` ([`db_from_ratio`] / [`ratio_from_db`]).
+//! * Amplitude ratios use `20*log10` ([`db_from_amplitude`]).
+//! * Absolute powers are expressed in dBm (dB relative to 1 mW) or watts.
+
+/// Converts a linear *power* ratio to decibels.
+#[inline]
+pub fn db_from_ratio(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a linear *power* ratio.
+#[inline]
+pub fn ratio_from_db(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear *amplitude* ratio to decibels.
+#[inline]
+pub fn db_from_amplitude(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+/// Converts decibels to a linear *amplitude* ratio.
+#[inline]
+pub fn amplitude_from_db(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Converts a power in watts to dBm.
+#[inline]
+pub fn dbm_from_watts(watts: f64) -> f64 {
+    10.0 * (watts * 1e3).log10()
+}
+
+/// Converts dBm to watts.
+#[inline]
+pub fn watts_from_dbm(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0) * 1e-3
+}
+
+/// Converts dBm to milliwatts.
+#[inline]
+pub fn mw_from_dbm(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts milliwatts to dBm.
+#[inline]
+pub fn dbm_from_mw(mw: f64) -> f64 {
+    10.0 * mw.log10()
+}
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Standard noise reference temperature in kelvin.
+pub const T0_KELVIN: f64 = 290.0;
+
+/// Thermal noise power in dBm for a given bandwidth in Hz at `T0` (290 K).
+///
+/// The familiar `-174 dBm/Hz + 10 log10(B)` rule; e.g. a 300 kHz MICS
+/// channel has a thermal floor of about −119 dBm.
+#[inline]
+pub fn thermal_noise_dbm(bandwidth_hz: f64) -> f64 {
+    dbm_from_watts(BOLTZMANN * T0_KELVIN * bandwidth_hz)
+}
+
+/// Speed of light in m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Wavelength in meters for a carrier frequency in Hz.
+#[inline]
+pub fn wavelength_m(freq_hz: f64) -> f64 {
+    SPEED_OF_LIGHT / freq_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_roundtrip() {
+        for &db in &[-40.0, -3.0, 0.0, 3.0, 20.0, 32.0] {
+            assert!((db_from_ratio(ratio_from_db(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn amplitude_roundtrip() {
+        for &db in &[-27.0, 0.0, 6.0] {
+            assert!((db_from_amplitude(amplitude_from_db(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((db_from_ratio(2.0) - 3.0103).abs() < 1e-3);
+        assert!((db_from_amplitude(10.0) - 20.0).abs() < 1e-12);
+        assert!((dbm_from_watts(1.0) - 30.0).abs() < 1e-12);
+        assert!((watts_from_dbm(0.0) - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mics_fcc_limit_is_minus_16_dbm() {
+        // FCC EIRP limit for MICS is 25 microwatts = -16 dBm.
+        let dbm = dbm_from_watts(25e-6);
+        assert!((dbm - (-16.02)).abs() < 0.01);
+    }
+
+    #[test]
+    fn thermal_floor_matches_textbook() {
+        // -174 dBm/Hz at 290 K.
+        let per_hz = thermal_noise_dbm(1.0);
+        assert!((per_hz - (-173.98)).abs() < 0.05);
+        // 300 kHz channel: about -119.2 dBm.
+        let mics = thermal_noise_dbm(300e3);
+        assert!((mics - (-119.2)).abs() < 0.1);
+    }
+
+    #[test]
+    fn mics_wavelength_is_75cm() {
+        let lambda = wavelength_m(403.5e6);
+        assert!((lambda - 0.743).abs() < 0.01);
+    }
+
+    #[test]
+    fn dbm_mw_roundtrip() {
+        for &dbm in &[-30.0, -16.0, 0.0, 10.0] {
+            assert!((dbm_from_mw(mw_from_dbm(dbm)) - dbm).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the DSP substrate.
+
+use hb_dsp::cfo::{apply_cfo, correct_cfo};
+use hb_dsp::complex::{inner_product, mean_power, C64};
+use hb_dsp::fft::{fft, ifft, next_pow2, FftPlan};
+use hb_dsp::fir::{convolve_real, design_lowpass, StreamingFir};
+use hb_dsp::goertzel::{goertzel, tone_correlate};
+use hb_dsp::stats::Cdf;
+use hb_dsp::units::{db_from_ratio, ratio_from_db};
+use hb_dsp::window::Window;
+use proptest::prelude::*;
+
+fn sig_strategy(max_len: usize) -> impl Strategy<Value = Vec<C64>> {
+    prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| C64::new(re, im)).collect())
+}
+
+proptest! {
+    /// dB conversions round-trip.
+    #[test]
+    fn db_roundtrip(db in -120.0f64..120.0) {
+        prop_assert!((db_from_ratio(ratio_from_db(db)) - db).abs() < 1e-9);
+    }
+
+    /// FFT is linear: F(a·x + y) == a·F(x) + F(y).
+    #[test]
+    fn fft_linearity(x in sig_strategy(64), scale in -10.0f64..10.0) {
+        let n = next_pow2(x.len());
+        let mut a = x.clone();
+        a.resize(n, C64::ZERO);
+        let mut b: Vec<C64> = a.iter().rev().copied().collect();
+        b.resize(n, C64::ZERO);
+        let combined: Vec<C64> = a.iter().zip(&b).map(|(&p, &q)| p.scale(scale) + q).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fc = fft(&combined);
+        for i in 0..n {
+            let expect = fa[i].scale(scale) + fb[i];
+            prop_assert!((fc[i] - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+        }
+    }
+
+    /// Forward/inverse FFT with a shared plan round-trips.
+    #[test]
+    fn plan_roundtrip(x in sig_strategy(128)) {
+        let n = next_pow2(x.len());
+        let mut buf = x.clone();
+        buf.resize(n, C64::ZERO);
+        let orig = buf.clone();
+        let plan = FftPlan::new(n);
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in orig.iter().zip(&buf) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    /// ifft(fft(x)) preserves mean power.
+    #[test]
+    fn fft_power_preservation(x in sig_strategy(64)) {
+        let n = next_pow2(x.len());
+        let mut buf = x;
+        buf.resize(n, C64::ZERO);
+        let p0 = mean_power(&buf);
+        let back = ifft(&fft(&buf));
+        prop_assert!((mean_power(&back) - p0).abs() < 1e-6 * (1.0 + p0));
+    }
+
+    /// Goertzel equals the direct correlation at any frequency.
+    #[test]
+    fn goertzel_equals_correlation(x in sig_strategy(64), f in -140e3f64..140e3) {
+        let g = goertzel(&x, f, 300e3);
+        let d = tone_correlate(&x, f, 300e3);
+        prop_assert!((g - d).abs() < 1e-5 * (1.0 + d.abs()));
+    }
+
+    /// Convolution is linear in the signal.
+    #[test]
+    fn convolution_linearity(x in sig_strategy(48), scale in -4.0f64..4.0) {
+        let taps = design_lowpass(40e3, 300e3, 15, Window::Hamming);
+        let scaled: Vec<C64> = x.iter().map(|&s| s.scale(scale)).collect();
+        let y1 = convolve_real(&scaled, &taps);
+        let y0 = convolve_real(&x, &taps);
+        for (a, b) in y1.iter().zip(&y0) {
+            prop_assert!((*a - b.scale(scale)).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Streaming filtering equals batch convolution regardless of chunking.
+    #[test]
+    fn streaming_equals_batch(x in sig_strategy(96), chunk in 1usize..32) {
+        let taps = design_lowpass(50e3, 300e3, 11, Window::Hann);
+        let batch = convolve_real(&x, &taps);
+        let mut f = StreamingFir::from_real(&taps);
+        let mut out = Vec::new();
+        for c in x.chunks(chunk) {
+            out.extend(f.process(c));
+        }
+        for i in 0..x.len() {
+            prop_assert!((out[i] - batch[i]).abs() < 1e-9);
+        }
+    }
+
+    /// CFO application is invertible.
+    #[test]
+    fn cfo_invertible(x in sig_strategy(64), f in -50e3f64..50e3) {
+        let shifted = apply_cfo(&x, f, 300e3, 0, 0.0);
+        let back = correct_cfo(&shifted, f, 300e3);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-9 * (1.0 + a.abs()));
+        }
+    }
+
+    /// CDF is a valid distribution function: monotone, ends at 1.
+    #[test]
+    fn cdf_is_monotone(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(samples);
+        let pts = cdf.points();
+        let mut last = 0.0;
+        for &(_, p) in &pts {
+            prop_assert!(p >= last);
+            last = p;
+        }
+        prop_assert!((last - 1.0).abs() < 1e-12);
+        prop_assert!(cdf.quantile(0.0) <= cdf.quantile(1.0));
+    }
+
+    /// Inner product is conjugate-symmetric: <a,b> = conj(<b,a>).
+    #[test]
+    fn inner_product_conjugate_symmetry(x in sig_strategy(32)) {
+        let y: Vec<C64> = x.iter().rev().copied().collect();
+        let ab = inner_product(&x, &y);
+        let ba = inner_product(&y, &x);
+        prop_assert!((ab - ba.conj()).abs() < 1e-6 * (1.0 + ab.abs()));
+    }
+
+    /// Windows are symmetric and bounded by 1 at the center.
+    #[test]
+    fn window_symmetry(len in 2usize..128) {
+        for w in [Window::Hamming, Window::Hann, Window::Blackman, Window::Kaiser(7.0)] {
+            let c = w.coefficients(len);
+            for i in 0..len {
+                prop_assert!((c[i] - c[len - 1 - i]).abs() < 1e-9);
+                prop_assert!(c[i] <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

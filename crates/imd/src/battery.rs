@@ -1,0 +1,141 @@
+//! IMD battery model.
+//!
+//! IMDs are "typically nonrechargeable power-limited devices" (§7(e));
+//! every radio transmission spends irreplaceable energy, which is why the
+//! paper treats *triggering the IMD to transmit* as an attack in its own
+//! right (Fig. 11). The model tracks radio energy separately from the
+//! (dominant, constant) therapy/housekeeping drain so experiments can
+//! quantify how much lifetime an attack burns.
+
+/// Battery state of an implanted device.
+#[derive(Debug, Clone)]
+pub struct Battery {
+    /// Usable capacity, joules.
+    capacity_j: f64,
+    /// Energy consumed so far, joules.
+    consumed_j: f64,
+    /// Baseline (pacing + housekeeping) drain, watts.
+    baseline_w: f64,
+    /// Radio power draw while transmitting, watts (circuit power, which
+    /// dwarfs the microwatt RF output).
+    tx_draw_w: f64,
+    /// Cumulative radio-only energy, joules.
+    radio_j: f64,
+}
+
+impl Battery {
+    /// A typical ICD battery: ~2 Ah at ~3 V ≈ 20 kJ usable, ~7-year
+    /// baseline life, ~30 mW radio draw while transmitting.
+    pub fn typical_icd() -> Self {
+        Battery {
+            capacity_j: 20_000.0,
+            consumed_j: 0.0,
+            baseline_w: 90e-6, // ~20 kJ / 7 years
+            tx_draw_w: 30e-3,
+            radio_j: 0.0,
+        }
+    }
+
+    /// Creates a battery with explicit parameters.
+    pub fn new(capacity_j: f64, baseline_w: f64, tx_draw_w: f64) -> Self {
+        assert!(capacity_j > 0.0 && baseline_w > 0.0 && tx_draw_w >= 0.0);
+        Battery {
+            capacity_j,
+            consumed_j: 0.0,
+            baseline_w,
+            tx_draw_w,
+            radio_j: 0.0,
+        }
+    }
+
+    /// Accounts for `dt_s` seconds of baseline operation.
+    pub fn tick_baseline(&mut self, dt_s: f64) {
+        self.consumed_j += self.baseline_w * dt_s;
+    }
+
+    /// Accounts for `dt_s` seconds of radio transmission.
+    pub fn spend_tx(&mut self, dt_s: f64) {
+        let e = self.tx_draw_w * dt_s;
+        self.consumed_j += e;
+        self.radio_j += e;
+    }
+
+    /// Remaining fraction in [0, 1].
+    pub fn remaining_fraction(&self) -> f64 {
+        ((self.capacity_j - self.consumed_j) / self.capacity_j).clamp(0.0, 1.0)
+    }
+
+    /// Remaining percentage (rounded down), as reported in Status frames.
+    pub fn remaining_pct(&self) -> u8 {
+        (self.remaining_fraction() * 100.0).floor() as u8
+    }
+
+    /// True when the battery has reached end of service.
+    pub fn depleted(&self) -> bool {
+        self.consumed_j >= self.capacity_j
+    }
+
+    /// Total energy spent on radio transmissions, joules.
+    pub fn radio_energy_j(&self) -> f64 {
+        self.radio_j
+    }
+
+    /// Projected remaining lifetime at the baseline drain alone, seconds.
+    pub fn remaining_lifetime_s(&self) -> f64 {
+        (self.capacity_j - self.consumed_j).max(0.0) / self.baseline_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_battery_full() {
+        let b = Battery::typical_icd();
+        assert_eq!(b.remaining_pct(), 100);
+        assert!(!b.depleted());
+        // ~7 years of baseline life.
+        let years = b.remaining_lifetime_s() / (365.25 * 86400.0);
+        assert!((6.0..8.5).contains(&years), "lifetime {years} years");
+    }
+
+    #[test]
+    fn tx_spends_radio_energy() {
+        let mut b = Battery::typical_icd();
+        b.spend_tx(1.0);
+        assert!((b.radio_energy_j() - 0.03).abs() < 1e-12);
+        assert!(b.remaining_fraction() < 1.0);
+    }
+
+    #[test]
+    fn depletion_attack_shortens_lifetime() {
+        // A day of forced continuous transmission costs ~2.6 kJ of a 20 kJ
+        // battery — about 13% of total life in one day.
+        let mut attacked = Battery::typical_icd();
+        attacked.spend_tx(86_400.0);
+        let mut idle = Battery::typical_icd();
+        idle.tick_baseline(86_400.0);
+        let lost_s = idle.remaining_lifetime_s() - attacked.remaining_lifetime_s();
+        let lost_days = lost_s / 86_400.0;
+        assert!(lost_days > 300.0, "attack cost only {lost_days} days");
+    }
+
+    #[test]
+    fn depletes_and_clamps() {
+        let mut b = Battery::new(1.0, 1e-6, 1.0);
+        b.spend_tx(2.0);
+        assert!(b.depleted());
+        assert_eq!(b.remaining_pct(), 0);
+        assert_eq!(b.remaining_fraction(), 0.0);
+        assert_eq!(b.remaining_lifetime_s(), 0.0);
+    }
+
+    #[test]
+    fn baseline_accumulates() {
+        let mut b = Battery::new(100.0, 1.0, 0.0);
+        b.tick_baseline(25.0);
+        assert!((b.remaining_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(b.remaining_pct(), 75);
+    }
+}

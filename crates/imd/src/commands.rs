@@ -1,0 +1,236 @@
+//! The programmer → IMD command set and IMD → programmer responses.
+//!
+//! Modeled on the interactions the paper exercises (§10.3): interrogation
+//! (identity/status, used for the battery-depletion attack because every
+//! reply costs transmit energy), telemetry reads (private patient data —
+//! the confidentiality target), and therapy modification (the dangerous
+//! one). Payloads fit the 10-byte frame payload budget; bulk data (ECG) is
+//! fetched chunk-by-chunk with an offset, as real telemetry protocols
+//! fragment large records.
+
+use crate::therapy::TherapyParams;
+
+/// A command carried in a `FrameType::Command` frame payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Command {
+    /// Identify yourself and report status (triggers a reply — the
+    /// battery-depletion attack repeats this).
+    Interrogate,
+    /// Read the current therapy parameters.
+    ReadTherapy,
+    /// Replace the therapy parameters.
+    SetTherapy(TherapyParams),
+    /// Read one chunk of stored ECG, by chunk index.
+    ReadEcg {
+        /// Which 8-sample chunk to return.
+        chunk: u16,
+    },
+    /// Read the patient record chunk (name, ids), by chunk index.
+    ReadPatient {
+        /// Which 8-byte chunk to return.
+        chunk: u16,
+    },
+}
+
+/// Command opcodes.
+mod opcode {
+    pub const INTERROGATE: u8 = 0x10;
+    pub const READ_THERAPY: u8 = 0x20;
+    pub const SET_THERAPY: u8 = 0x21;
+    pub const READ_ECG: u8 = 0x30;
+    pub const READ_PATIENT: u8 = 0x31;
+}
+
+impl Command {
+    /// Serializes to a frame payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        match self {
+            Command::Interrogate => vec![opcode::INTERROGATE],
+            Command::ReadTherapy => vec![opcode::READ_THERAPY],
+            Command::SetTherapy(p) => {
+                let mut v = vec![opcode::SET_THERAPY];
+                v.extend_from_slice(&p.to_bytes());
+                v
+            }
+            Command::ReadEcg { chunk } => {
+                let mut v = vec![opcode::READ_ECG];
+                v.extend_from_slice(&chunk.to_be_bytes());
+                v
+            }
+            Command::ReadPatient { chunk } => {
+                let mut v = vec![opcode::READ_PATIENT];
+                v.extend_from_slice(&chunk.to_be_bytes());
+                v
+            }
+        }
+    }
+
+    /// Parses a frame payload.
+    pub fn from_payload(payload: &[u8]) -> Option<Command> {
+        let (&op, rest) = payload.split_first()?;
+        match op {
+            opcode::INTERROGATE => Some(Command::Interrogate),
+            opcode::READ_THERAPY => Some(Command::ReadTherapy),
+            opcode::SET_THERAPY => TherapyParams::from_bytes(rest).map(Command::SetTherapy),
+            opcode::READ_ECG => {
+                if rest.len() < 2 {
+                    return None;
+                }
+                Some(Command::ReadEcg {
+                    chunk: u16::from_be_bytes([rest[0], rest[1]]),
+                })
+            }
+            opcode::READ_PATIENT => {
+                if rest.len() < 2 {
+                    return None;
+                }
+                Some(Command::ReadPatient {
+                    chunk: u16::from_be_bytes([rest[0], rest[1]]),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A response carried in a `FrameType::Response` frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Identity/status report: model code, battery percent.
+    Status {
+        /// Device model code.
+        model: u8,
+        /// Remaining battery, percent.
+        battery_pct: u8,
+    },
+    /// Current therapy parameters.
+    Therapy(TherapyParams),
+    /// Acknowledgement of a SetTherapy.
+    Ack,
+    /// Rejection (e.g. invalid parameters).
+    Nak,
+    /// A chunk of data (ECG or patient record).
+    Data {
+        /// Echo of the requested chunk index.
+        chunk: u16,
+        /// Up to 7 bytes of record data.
+        bytes: Vec<u8>,
+    },
+}
+
+mod rcode {
+    pub const STATUS: u8 = 0x90;
+    pub const THERAPY: u8 = 0xA0;
+    pub const ACK: u8 = 0xA1;
+    pub const NAK: u8 = 0xA2;
+    pub const DATA: u8 = 0xB0;
+}
+
+impl Response {
+    /// Serializes to a frame payload (≤ 10 bytes).
+    pub fn to_payload(&self) -> Vec<u8> {
+        match self {
+            Response::Status { model, battery_pct } => vec![rcode::STATUS, *model, *battery_pct],
+            Response::Therapy(p) => {
+                let mut v = vec![rcode::THERAPY];
+                v.extend_from_slice(&p.to_bytes());
+                v
+            }
+            Response::Ack => vec![rcode::ACK],
+            Response::Nak => vec![rcode::NAK],
+            Response::Data { chunk, bytes } => {
+                assert!(bytes.len() <= 7, "data chunk too large for payload");
+                let mut v = vec![rcode::DATA];
+                v.extend_from_slice(&chunk.to_be_bytes());
+                v.extend_from_slice(bytes);
+                v
+            }
+        }
+    }
+
+    /// Parses a frame payload.
+    pub fn from_payload(payload: &[u8]) -> Option<Response> {
+        let (&op, rest) = payload.split_first()?;
+        match op {
+            rcode::STATUS => {
+                if rest.len() < 2 {
+                    return None;
+                }
+                Some(Response::Status {
+                    model: rest[0],
+                    battery_pct: rest[1],
+                })
+            }
+            rcode::THERAPY => TherapyParams::from_bytes(rest).map(Response::Therapy),
+            rcode::ACK => Some(Response::Ack),
+            rcode::NAK => Some(Response::Nak),
+            rcode::DATA => {
+                if rest.len() < 2 {
+                    return None;
+                }
+                Some(Response::Data {
+                    chunk: u16::from_be_bytes([rest[0], rest[1]]),
+                    bytes: rest[2..].to_vec(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_roundtrips() {
+        let cmds = [
+            Command::Interrogate,
+            Command::ReadTherapy,
+            Command::SetTherapy(TherapyParams::nominal()),
+            Command::ReadEcg { chunk: 1234 },
+            Command::ReadPatient { chunk: 7 },
+        ];
+        for c in cmds {
+            let p = c.to_payload();
+            assert!(p.len() <= 10, "{c:?} payload too big: {}", p.len());
+            assert_eq!(Command::from_payload(&p), Some(c));
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = [
+            Response::Status {
+                model: 3,
+                battery_pct: 87,
+            },
+            Response::Therapy(TherapyParams::nominal()),
+            Response::Ack,
+            Response::Nak,
+            Response::Data {
+                chunk: 500,
+                bytes: vec![1, 2, 3, 4, 5, 6, 7],
+            },
+        ];
+        for r in resps {
+            let p = r.to_payload();
+            assert!(p.len() <= 10, "{r:?} payload too big: {}", p.len());
+            assert_eq!(Response::from_payload(&p), Some(r));
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(Command::from_payload(&[]), None);
+        assert_eq!(Command::from_payload(&[0xFF]), None);
+        assert_eq!(Command::from_payload(&[0x30]), None); // missing chunk
+        assert_eq!(Response::from_payload(&[0x42]), None);
+        assert_eq!(Response::from_payload(&[]), None);
+    }
+
+    #[test]
+    fn set_therapy_with_truncated_params_rejected() {
+        assert_eq!(Command::from_payload(&[0x21, 1, 2]), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! # hb-imd — implantable medical device models
+//!
+//! Executable models of the devices the paper protects and talks to:
+//!
+//! * [`device`] — the IMD state machine: responds only when addressed,
+//!   within a bounded window, without carrier sensing, and discards frames
+//!   that fail the checksum — the measured behaviours of the Medtronic
+//!   Virtuoso ICD and Concerto CRT that the shield's algorithms rely on.
+//! * [`models`] — Virtuoso/Concerto configuration profiles.
+//! * [`programmer`] — the authorized clinic programmer (CareLink-class),
+//!   with FCC-compliant power and listen-before-talk.
+//! * [`therapy`] — pacing/defibrillation parameters (the attack target).
+//! * [`telemetry`] — patient record and synthetic ECG (the privacy target).
+//! * [`battery`] — energy model for the battery-depletion attack.
+//! * [`commands`] — the command/response wire protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod commands;
+pub mod device;
+pub mod models;
+pub mod programmer;
+pub mod telemetry;
+pub mod therapy;
+
+pub use commands::{Command, Response};
+pub use device::{ImdDevice, ImdStats};
+pub use models::ImdConfig;
+pub use programmer::{Programmer, ProgrammerConfig};
+pub use therapy::TherapyParams;

@@ -1,0 +1,91 @@
+//! Device profiles for the two IMDs the paper evaluates.
+//!
+//! The Medtronic **Virtuoso DR** implantable cardiac defibrillator and
+//! **Concerto** cardiac resynchronization therapy device (§9). Both share
+//! the same MICS air interface (FCC ID LF5MICS, §7(a) footnote) and, per
+//! the paper's measurements, the same reply timing; they differ in model
+//! identity and serial number. The evaluation combines their results
+//! "since the two IMDs did not show any significant difference" (§10) —
+//! our experiments run both and do the same.
+
+use hb_mics::timing::ReplyTiming;
+use hb_phy::fsk::FskParams;
+use hb_phy::packet::Serial;
+
+/// Model codes reported in Status responses.
+pub mod model_code {
+    /// Virtuoso DR ICD.
+    pub const VIRTUOSO_ICD: u8 = 0x01;
+    /// Concerto CRT-D.
+    pub const CONCERTO_CRT: u8 = 0x02;
+}
+
+/// Static configuration of an IMD.
+#[derive(Debug, Clone)]
+pub struct ImdConfig {
+    /// 10-byte device serial (the identity the shield's `Sid` matches).
+    pub serial: Serial,
+    /// Model code for Status responses.
+    pub model_code: u8,
+    /// Transmit power, dBm. Default −24 dBm (4 µW EIRP): comfortably
+    /// inside the 25 µW MICS cap and ~8 dB above the "20 dB below
+    /// external devices" floor of §10.1(b); calibrated so the received
+    /// IMD level at the shield reproduces the paper's +20 dB jamming
+    /// margin arithmetic (DESIGN.md, calibrated constants).
+    pub tx_power_dbm: f64,
+    /// Reply-window timing (T1/T2/P).
+    pub reply: ReplyTiming,
+    /// The MICS channel the session occupies.
+    pub channel: usize,
+    /// FSK air-interface parameters.
+    pub fsk: FskParams,
+}
+
+impl ImdConfig {
+    /// The Virtuoso DR ICD profile.
+    pub fn virtuoso_icd(channel: usize) -> Self {
+        ImdConfig {
+            serial: Serial::from_str_padded("VIRTUOSO01"),
+            model_code: model_code::VIRTUOSO_ICD,
+            tx_power_dbm: -24.0,
+            reply: ReplyTiming::medtronic_measured(),
+            channel,
+            fsk: FskParams::mics_default(),
+        }
+    }
+
+    /// The Concerto CRT profile.
+    pub fn concerto_crt(channel: usize) -> Self {
+        ImdConfig {
+            serial: Serial::from_str_padded("CONCERTO02"),
+            model_code: model_code::CONCERTO_CRT,
+            ..Self::virtuoso_icd(channel)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_only_in_identity() {
+        let v = ImdConfig::virtuoso_icd(5);
+        let c = ImdConfig::concerto_crt(5);
+        assert_ne!(v.serial, c.serial);
+        assert_ne!(v.model_code, c.model_code);
+        assert_eq!(v.reply, c.reply);
+        assert_eq!(v.fsk, c.fsk);
+        assert_eq!(v.tx_power_dbm, c.tx_power_dbm);
+    }
+
+    #[test]
+    fn implant_power_within_mics_cap_and_below_external() {
+        let v = ImdConfig::virtuoso_icd(0);
+        // Within the 25 µW MICS EIRP cap…
+        assert!(v.tx_power_dbm <= hb_mics::fcc_eirp_limit_dbm());
+        // …and well below what external devices transmit, preserving the
+        // §10.1(b) headroom argument for the shield's +20 dB jamming.
+        assert!(v.tx_power_dbm <= hb_mics::fcc_eirp_limit_dbm() - 5.0);
+    }
+}

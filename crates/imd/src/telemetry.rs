@@ -1,0 +1,190 @@
+//! Patient data held by the IMD: identity record and stored ECG.
+//!
+//! This is the confidential information the passive eavesdropper is after
+//! ("patient name, ECG signal", §2). The ECG is synthesized with the
+//! classic sum-of-Gaussians morphology model (one Gaussian per P, Q, R, S,
+//! T wave), giving a recognizable, deterministic waveform whose rate
+//! follows the programmed pacing rate.
+
+/// The stored patient identity record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatientRecord {
+    /// Patient name (as stored by the clinic).
+    pub name: String,
+    /// Medical record number.
+    pub mrn: String,
+    /// Implanting physician.
+    pub physician: String,
+}
+
+impl PatientRecord {
+    /// A demo record used by examples and experiments.
+    pub fn demo() -> Self {
+        PatientRecord {
+            name: "DOE, JANE".to_string(),
+            mrn: "MRN-0047112".to_string(),
+            physician: "DR. OSLER".to_string(),
+        }
+    }
+
+    /// Serializes the record to bytes (length-prefixed fields).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        for field in [&self.name, &self.mrn, &self.physician] {
+            let b = field.as_bytes();
+            v.push(b.len().min(255) as u8);
+            v.extend_from_slice(&b[..b.len().min(255)]);
+        }
+        v
+    }
+
+    /// The record split into 7-byte chunks for `ReadPatient` responses.
+    pub fn chunk(&self, index: u16) -> Vec<u8> {
+        let bytes = self.to_bytes();
+        let start = index as usize * 7;
+        if start >= bytes.len() {
+            return Vec::new();
+        }
+        bytes[start..(start + 7).min(bytes.len())].to_vec()
+    }
+
+    /// Number of chunks in the record.
+    pub fn chunk_count(&self) -> u16 {
+        (self.to_bytes().len().div_ceil(7)) as u16
+    }
+}
+
+/// Morphology of one ECG beat as a sum of Gaussians.
+/// `(amplitude_mV, center_fraction_of_beat, width_fraction)` per wave.
+const ECG_WAVES: [(f64, f64, f64); 5] = [
+    (0.15, 0.15, 0.035), // P
+    (-0.12, 0.28, 0.012), // Q
+    (1.20, 0.31, 0.015), // R
+    (-0.25, 0.34, 0.012), // S
+    (0.30, 0.55, 0.060), // T
+];
+
+/// Deterministic synthetic ECG generator.
+#[derive(Debug, Clone)]
+pub struct EcgGenerator {
+    /// Heart rate, beats per minute.
+    pub rate_bpm: f64,
+    /// Output sample rate, Hz.
+    pub fs_hz: f64,
+}
+
+impl EcgGenerator {
+    /// Creates a generator at the given heart rate, sampled at 256 Hz.
+    pub fn new(rate_bpm: f64) -> Self {
+        assert!(rate_bpm > 0.0);
+        EcgGenerator {
+            rate_bpm,
+            fs_hz: 256.0,
+        }
+    }
+
+    /// ECG voltage in millivolts at time `t` seconds.
+    pub fn voltage_mv(&self, t: f64) -> f64 {
+        let beat_period = 60.0 / self.rate_bpm;
+        let phase = (t / beat_period).fract();
+        ECG_WAVES
+            .iter()
+            .map(|&(a, c, w)| {
+                // Wrap-aware distance on the unit circle of beat phase.
+                let mut d = (phase - c).abs();
+                d = d.min(1.0 - d);
+                a * (-d * d / (2.0 * w * w)).exp()
+            })
+            .sum()
+    }
+
+    /// Generates `n` samples starting at sample index `start`, quantized to
+    /// i8 at 0.02 mV/LSB (the stored-telemetry format; fits data chunks).
+    pub fn samples_i8(&self, start: u64, n: usize) -> Vec<i8> {
+        (0..n)
+            .map(|i| {
+                let t = (start + i as u64) as f64 / self.fs_hz;
+                (self.voltage_mv(t) / 0.02).round().clamp(-127.0, 127.0) as i8
+            })
+            .collect()
+    }
+
+    /// One 7-byte chunk of stored ECG for `ReadEcg` responses.
+    pub fn chunk(&self, index: u16) -> Vec<u8> {
+        self.samples_i8(index as u64 * 7, 7)
+            .into_iter()
+            .map(|s| s as u8)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_chunks_reassemble() {
+        let r = PatientRecord::demo();
+        let mut assembled = Vec::new();
+        for i in 0..r.chunk_count() {
+            assembled.extend(r.chunk(i));
+        }
+        assert_eq!(assembled, r.to_bytes());
+        // Past-the-end chunk is empty.
+        assert!(r.chunk(r.chunk_count()).is_empty());
+    }
+
+    #[test]
+    fn record_contains_name() {
+        let r = PatientRecord::demo();
+        let bytes = r.to_bytes();
+        let name = b"DOE, JANE";
+        assert!(bytes
+            .windows(name.len())
+            .any(|w| w == name));
+    }
+
+    #[test]
+    fn ecg_is_periodic_at_heart_rate() {
+        let g = EcgGenerator::new(60.0); // 1 beat/s
+        for t in [0.1, 0.31, 0.77] {
+            assert!((g.voltage_mv(t) - g.voltage_mv(t + 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn r_wave_dominates() {
+        let g = EcgGenerator::new(60.0);
+        // Peak near 31% of the beat should be the largest value.
+        let peak = g.voltage_mv(0.31);
+        assert!(peak > 1.0, "R wave {peak}");
+        for frac in [0.0, 0.1, 0.5, 0.7, 0.9] {
+            assert!(g.voltage_mv(frac) < peak + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rate_scales_period() {
+        let g = EcgGenerator::new(120.0); // 0.5 s period
+        assert!((g.voltage_mv(0.2) - g.voltage_mv(0.7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_deterministic_and_bounded() {
+        let g = EcgGenerator::new(72.0);
+        let a = g.samples_i8(0, 512);
+        let b = g.samples_i8(0, 512);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&s| s > 30)); // R waves present
+    }
+
+    #[test]
+    fn chunks_tile_the_stream() {
+        let g = EcgGenerator::new(60.0);
+        let c0 = g.chunk(0);
+        let c1 = g.chunk(1);
+        let direct: Vec<u8> = g.samples_i8(0, 14).into_iter().map(|s| s as u8).collect();
+        assert_eq!(&direct[..7], &c0[..]);
+        assert_eq!(&direct[7..], &c1[..]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Therapy parameters of a cardiac device.
+//!
+//! These are the safety-critical settings the paper's active adversary
+//! tries to change ("commands that cause the device to deliver an electric
+//! shock to the patient", §1; Fig. 12's therapy-modification attack). The
+//! parameter set models a pacemaker/ICD: pacing mode, lower rate limit,
+//! pulse amplitude/width, and defibrillation shock energy.
+
+/// Pacing mode (NBG code subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PacingMode {
+    /// Ventricular demand pacing.
+    Vvi = 0,
+    /// Dual-chamber pacing.
+    Ddd = 1,
+    /// Atrial demand pacing.
+    Aai = 2,
+    /// Pacing disabled (monitoring only).
+    Off = 3,
+}
+
+impl PacingMode {
+    /// Decodes from a byte.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(PacingMode::Vvi),
+            1 => Some(PacingMode::Ddd),
+            2 => Some(PacingMode::Aai),
+            3 => Some(PacingMode::Off),
+            _ => None,
+        }
+    }
+}
+
+/// The full therapy parameter block (fits one command payload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TherapyParams {
+    /// Pacing mode.
+    pub mode: PacingMode,
+    /// Lower rate limit, pulses per minute (30–185).
+    pub rate_ppm: u8,
+    /// Pacing pulse amplitude, tenths of a volt (1–75, i.e. 0.1–7.5 V).
+    pub amplitude_dv: u8,
+    /// Pacing pulse width, tenths of a millisecond (1–15).
+    pub pulse_width_dms: u8,
+    /// Maximum defibrillation shock energy, joules (0–40).
+    pub shock_energy_j: u8,
+}
+
+/// Validation error for therapy parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TherapyError(pub String);
+
+impl std::fmt::Display for TherapyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid therapy parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for TherapyError {}
+
+impl TherapyParams {
+    /// Nominal shipping configuration.
+    pub fn nominal() -> Self {
+        TherapyParams {
+            mode: PacingMode::Ddd,
+            rate_ppm: 60,
+            amplitude_dv: 35,
+            pulse_width_dms: 4,
+            shock_energy_j: 30,
+        }
+    }
+
+    /// Checks clinical ranges.
+    pub fn validate(&self) -> Result<(), TherapyError> {
+        if !(30..=185).contains(&self.rate_ppm) {
+            return Err(TherapyError(format!("rate {} ppm out of 30..=185", self.rate_ppm)));
+        }
+        if !(1..=75).contains(&self.amplitude_dv) {
+            return Err(TherapyError(format!(
+                "amplitude {} dV out of 1..=75",
+                self.amplitude_dv
+            )));
+        }
+        if !(1..=15).contains(&self.pulse_width_dms) {
+            return Err(TherapyError(format!(
+                "pulse width {} dms out of 1..=15",
+                self.pulse_width_dms
+            )));
+        }
+        if self.shock_energy_j > 40 {
+            return Err(TherapyError(format!(
+                "shock energy {} J out of 0..=40",
+                self.shock_energy_j
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serializes to 5 wire bytes.
+    pub fn to_bytes(&self) -> [u8; 5] {
+        [
+            self.mode as u8,
+            self.rate_ppm,
+            self.amplitude_dv,
+            self.pulse_width_dms,
+            self.shock_energy_j,
+        ]
+    }
+
+    /// Parses from 5 wire bytes (structure only; call
+    /// [`TherapyParams::validate`] for clinical ranges).
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < 5 {
+            return None;
+        }
+        Some(TherapyParams {
+            mode: PacingMode::from_byte(b[0])?,
+            rate_ppm: b[1],
+            amplitude_dv: b[2],
+            pulse_width_dms: b[3],
+            shock_energy_j: b[4],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_valid() {
+        TherapyParams::nominal().validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let p = TherapyParams::nominal();
+        assert_eq!(TherapyParams::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut p = TherapyParams::nominal();
+        p.rate_ppm = 250;
+        assert!(p.validate().is_err());
+        p = TherapyParams::nominal();
+        p.amplitude_dv = 0;
+        assert!(p.validate().is_err());
+        p = TherapyParams::nominal();
+        p.pulse_width_dms = 16;
+        assert!(p.validate().is_err());
+        p = TherapyParams::nominal();
+        p.shock_energy_j = 41;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_mode_or_length() {
+        assert!(TherapyParams::from_bytes(&[9, 60, 35, 4, 30]).is_none());
+        assert!(TherapyParams::from_bytes(&[0, 60, 35]).is_none());
+    }
+
+    #[test]
+    fn mode_byte_roundtrip() {
+        for m in [PacingMode::Vvi, PacingMode::Ddd, PacingMode::Aai, PacingMode::Off] {
+            assert_eq!(PacingMode::from_byte(m as u8), Some(m));
+        }
+        assert_eq!(PacingMode::from_byte(200), None);
+    }
+}

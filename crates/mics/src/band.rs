@@ -1,0 +1,108 @@
+//! The MICS band plan: 402–405 MHz divided into ten 300 kHz channels
+//! (FCC 47 CFR 95, §2 of the paper).
+
+/// Lower edge of the MICS band, Hz.
+pub const BAND_START_HZ: f64 = 402.0e6;
+/// Upper edge of the MICS band, Hz.
+pub const BAND_END_HZ: f64 = 405.0e6;
+/// Width of one MICS channel, Hz.
+pub const CHANNEL_WIDTH_HZ: f64 = 300.0e3;
+/// Number of channels in the band.
+pub const N_CHANNELS: usize = 10;
+
+/// A MICS channel index (0..=9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MicsChannel(pub usize);
+
+impl MicsChannel {
+    /// Creates a channel, checking range.
+    pub fn new(index: usize) -> Option<Self> {
+        if index < N_CHANNELS {
+            Some(MicsChannel(index))
+        } else {
+            None
+        }
+    }
+
+    /// Center frequency of the channel, Hz.
+    pub fn center_hz(&self) -> f64 {
+        BAND_START_HZ + (self.0 as f64 + 0.5) * CHANNEL_WIDTH_HZ
+    }
+
+    /// Lower edge frequency, Hz.
+    pub fn low_hz(&self) -> f64 {
+        BAND_START_HZ + self.0 as f64 * CHANNEL_WIDTH_HZ
+    }
+
+    /// Upper edge frequency, Hz.
+    pub fn high_hz(&self) -> f64 {
+        self.low_hz() + CHANNEL_WIDTH_HZ
+    }
+
+    /// The channel containing a frequency, if it is in the band.
+    pub fn containing(freq_hz: f64) -> Option<Self> {
+        if !(BAND_START_HZ..BAND_END_HZ).contains(&freq_hz) {
+            return None;
+        }
+        let idx = ((freq_hz - BAND_START_HZ) / CHANNEL_WIDTH_HZ) as usize;
+        Some(MicsChannel(idx.min(N_CHANNELS - 1)))
+    }
+
+    /// Iterator over all channels.
+    pub fn all() -> impl Iterator<Item = MicsChannel> {
+        (0..N_CHANNELS).map(MicsChannel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_covers_3_mhz_in_10_channels() {
+        assert_eq!(N_CHANNELS, 10);
+        assert!((BAND_END_HZ - BAND_START_HZ - 3.0e6).abs() < 1.0);
+        assert!((N_CHANNELS as f64 * CHANNEL_WIDTH_HZ - 3.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn channel_zero_and_nine_edges() {
+        let c0 = MicsChannel(0);
+        assert_eq!(c0.low_hz(), 402.0e6);
+        assert_eq!(c0.center_hz(), 402.15e6);
+        let c9 = MicsChannel(9);
+        assert_eq!(c9.high_hz(), 405.0e6);
+    }
+
+    #[test]
+    fn new_checks_range() {
+        assert!(MicsChannel::new(9).is_some());
+        assert!(MicsChannel::new(10).is_none());
+    }
+
+    #[test]
+    fn containing_maps_frequencies() {
+        assert_eq!(MicsChannel::containing(402.1e6), Some(MicsChannel(0)));
+        assert_eq!(MicsChannel::containing(403.5e6), Some(MicsChannel(5)));
+        assert_eq!(MicsChannel::containing(404.95e6), Some(MicsChannel(9)));
+        assert_eq!(MicsChannel::containing(401.9e6), None);
+        assert_eq!(MicsChannel::containing(405.1e6), None);
+    }
+
+    #[test]
+    fn all_channels_tile_the_band() {
+        let mut next_edge = BAND_START_HZ;
+        for c in MicsChannel::all() {
+            assert!((c.low_hz() - next_edge).abs() < 1e-6);
+            next_edge = c.high_hz();
+        }
+        assert!((next_edge - BAND_END_HZ).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_center_to_channel() {
+        for c in MicsChannel::all() {
+            assert_eq!(MicsChannel::containing(c.center_hz()), Some(c));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Listen-before-talk channel acquisition.
+//!
+//! Per §2 of the paper: *"Before they can use a 300 KHz channel for their
+//! session, they must 'listen' for a minimum of 10 ms to ensure that the
+//! channel is unoccupied."* This module provides the LBT state machine a
+//! programmer runs before opening a session (IMDs never carrier-sense —
+//! they respond blindly, which is exactly the property the shield's
+//! passive-jamming window exploits).
+
+use crate::band::MicsChannel;
+use crate::regs::LBT_DURATION_S;
+
+/// Result of one LBT attempt on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbtOutcome {
+    /// Still monitoring; keep feeding observations.
+    Monitoring,
+    /// Channel was quiet for the full window — clear to transmit.
+    Clear,
+    /// Energy detected — channel occupied, try another.
+    Occupied,
+}
+
+/// Listen-before-talk monitor for one channel.
+#[derive(Debug, Clone)]
+pub struct LbtMonitor {
+    channel: MicsChannel,
+    threshold_dbm: f64,
+    required_s: f64,
+    observed_s: f64,
+    outcome: LbtOutcome,
+}
+
+impl LbtMonitor {
+    /// Starts monitoring `channel`; energy above `threshold_dbm` marks the
+    /// channel occupied.
+    pub fn new(channel: MicsChannel, threshold_dbm: f64) -> Self {
+        LbtMonitor {
+            channel,
+            threshold_dbm,
+            required_s: LBT_DURATION_S,
+            observed_s: 0.0,
+            outcome: LbtOutcome::Monitoring,
+        }
+    }
+
+    /// The channel being monitored.
+    pub fn channel(&self) -> MicsChannel {
+        self.channel
+    }
+
+    /// Feeds one observation: the measured channel level over `dt_s`
+    /// seconds. Returns the current outcome.
+    pub fn observe(&mut self, level_dbm: f64, dt_s: f64) -> LbtOutcome {
+        if self.outcome != LbtOutcome::Monitoring {
+            return self.outcome;
+        }
+        if level_dbm > self.threshold_dbm {
+            self.outcome = LbtOutcome::Occupied;
+        } else {
+            self.observed_s += dt_s;
+            if self.observed_s + 1e-12 >= self.required_s {
+                self.outcome = LbtOutcome::Clear;
+            }
+        }
+        self.outcome
+    }
+
+    /// Current outcome without feeding a new observation.
+    pub fn outcome(&self) -> LbtOutcome {
+        self.outcome
+    }
+
+    /// Seconds of quiet observed so far.
+    pub fn observed_s(&self) -> f64 {
+        self.observed_s
+    }
+}
+
+/// Scans channels in order, returning the first that passes LBT according
+/// to the per-channel levels reported by `level_dbm(channel)`.
+///
+/// This is the idealized "find an unoccupied channel" step a programmer
+/// performs at session start; the full time-domain version runs inside the
+/// programmer device model.
+pub fn first_clear_channel<F: FnMut(MicsChannel) -> f64>(
+    threshold_dbm: f64,
+    mut level_dbm: F,
+) -> Option<MicsChannel> {
+    MicsChannel::all().find(|&c| level_dbm(c) <= threshold_dbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_channel_clears_after_10ms() {
+        let mut m = LbtMonitor::new(MicsChannel(0), -90.0);
+        for _ in 0..9 {
+            assert_eq!(m.observe(-110.0, 1e-3), LbtOutcome::Monitoring);
+        }
+        assert_eq!(m.observe(-110.0, 1e-3), LbtOutcome::Clear);
+        assert!((m.observed_s() - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_marks_occupied_immediately() {
+        let mut m = LbtMonitor::new(MicsChannel(3), -90.0);
+        assert_eq!(m.observe(-110.0, 5e-3), LbtOutcome::Monitoring);
+        assert_eq!(m.observe(-60.0, 1e-3), LbtOutcome::Occupied);
+        // Outcome is sticky.
+        assert_eq!(m.observe(-120.0, 20e-3), LbtOutcome::Occupied);
+    }
+
+    #[test]
+    fn clear_is_sticky() {
+        let mut m = LbtMonitor::new(MicsChannel(0), -90.0);
+        m.observe(-110.0, 10e-3);
+        assert_eq!(m.outcome(), LbtOutcome::Clear);
+        assert_eq!(m.observe(-40.0, 1e-3), LbtOutcome::Clear);
+    }
+
+    #[test]
+    fn first_clear_skips_occupied() {
+        let busy = [true, true, false, true, false, false, false, false, false, false];
+        let found = first_clear_channel(-90.0, |c| if busy[c.0] { -50.0 } else { -110.0 });
+        assert_eq!(found, Some(MicsChannel(2)));
+    }
+
+    #[test]
+    fn all_busy_returns_none() {
+        let found = first_clear_channel(-90.0, |_| -50.0);
+        assert_eq!(found, None);
+    }
+}

@@ -1,0 +1,27 @@
+//! # hb-mics — the Medical Implant Communication Service band model
+//!
+//! Regulatory and protocol context for the 402–405 MHz MICS band (§2 of
+//! the paper):
+//!
+//! * [`band`] — ten 300 kHz channels across 3 MHz.
+//! * [`regs`] — FCC EIRP limits (25 µW external, 20 dB lower for implants)
+//!   and compliance checks.
+//! * [`lbt`] — the 10 ms listen-before-talk rule programmers follow.
+//! * [`session`] — session establishment: scan → LBT → established →
+//!   rescan on persistent interference.
+//! * [`timing`] — IMD reply-window timing (T1/T2/P), the property the
+//!   shield's passive jamming schedule is built on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod band;
+pub mod lbt;
+pub mod regs;
+pub mod session;
+pub mod timing;
+
+pub use band::{MicsChannel, N_CHANNELS};
+pub use regs::{check_tx_power, fcc_eirp_limit_dbm, implant_tx_power_dbm, Compliance};
+pub use session::{SessionConfig, SessionNegotiator, SessionState};
+pub use timing::ReplyTiming;

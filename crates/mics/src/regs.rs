@@ -1,0 +1,83 @@
+//! Regulatory limits for the MICS band and compliance checking.
+//!
+//! * The FCC EIRP limit for MICS devices is 25 µW (−16 dBm).
+//! * Implanted transmitters operate about 20 dB below external devices
+//!   ([40, 41] in the paper) — this is the headroom that lets the shield
+//!   jam at "+20 dB relative to the received IMD power" while remaining
+//!   compliant (§10.1(b)).
+//! * Devices must monitor a candidate channel for at least 10 ms before
+//!   using it (listen-before-talk, §2).
+
+use hb_dsp::units::dbm_from_watts;
+
+/// FCC EIRP limit for external MICS devices, dBm (25 µW ≈ −16 dBm).
+pub fn fcc_eirp_limit_dbm() -> f64 {
+    dbm_from_watts(25e-6)
+}
+
+/// Typical implant transmit power, dBm: 20 dB below the external limit.
+pub fn implant_tx_power_dbm() -> f64 {
+    fcc_eirp_limit_dbm() - 20.0
+}
+
+/// Required listen-before-talk monitoring time, seconds.
+pub const LBT_DURATION_S: f64 = 10e-3;
+
+/// Outcome of a compliance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compliance {
+    /// Within limits.
+    Compliant,
+    /// Exceeds the applicable EIRP limit.
+    OverPower,
+}
+
+/// Checks a transmit power against the applicable limit.
+///
+/// `implanted` selects the implant budget (external limit − 20 dB).
+pub fn check_tx_power(power_dbm: f64, implanted: bool) -> Compliance {
+    let limit = if implanted {
+        implant_tx_power_dbm()
+    } else {
+        fcc_eirp_limit_dbm()
+    };
+    // Allow a hair of numerical slack at exactly the limit.
+    if power_dbm <= limit + 1e-9 {
+        Compliance::Compliant
+    } else {
+        Compliance::OverPower
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_have_expected_values() {
+        assert!((fcc_eirp_limit_dbm() - (-16.02)).abs() < 0.01);
+        assert!((implant_tx_power_dbm() - (-36.02)).abs() < 0.01);
+    }
+
+    #[test]
+    fn compliance_checks() {
+        assert_eq!(check_tx_power(-20.0, false), Compliance::Compliant);
+        assert_eq!(check_tx_power(-10.0, false), Compliance::OverPower);
+        assert_eq!(check_tx_power(fcc_eirp_limit_dbm(), false), Compliance::Compliant);
+        assert_eq!(check_tx_power(-36.5, true), Compliance::Compliant);
+        assert_eq!(check_tx_power(-30.0, true), Compliance::OverPower);
+    }
+
+    #[test]
+    fn high_power_adversary_is_noncompliant() {
+        // The paper's sophisticated adversary transmits at 100x the
+        // shield's power: +20 dB over the limit.
+        let adversary = fcc_eirp_limit_dbm() + 20.0;
+        assert_eq!(check_tx_power(adversary, false), Compliance::OverPower);
+    }
+
+    #[test]
+    fn lbt_duration_is_10ms() {
+        assert_eq!(LBT_DURATION_S, 0.010);
+    }
+}

@@ -1,0 +1,266 @@
+//! MICS session establishment and maintenance (§2 of the paper).
+//!
+//! *"Before they can use a 300 KHz channel for their session, they must
+//! 'listen' for a minimum of 10 ms to ensure that the channel is
+//! unoccupied. Once they find an unoccupied channel, they establish a
+//! session and alternate between the programmer transmitting a query or
+//! command, and the IMD responding immediately without sensing the medium.
+//! The programmer and IMD can keep using the channel until the end of
+//! their session, or until they encounter persistent interference, in
+//! which case they listen again to find an unoccupied channel."*
+//!
+//! [`SessionNegotiator`] is that state machine, fed with per-channel level
+//! observations: scan → LBT on a candidate → established → (on persistent
+//! interference) rescan. It is medium-agnostic — devices feed it their own
+//! RSSI measurements — so the same logic runs in the programmer model and
+//! in tests.
+
+use crate::band::{MicsChannel, N_CHANNELS};
+use crate::lbt::{LbtMonitor, LbtOutcome};
+
+/// Session-negotiation state.
+#[derive(Debug, Clone)]
+pub enum SessionState {
+    /// Performing listen-before-talk on a candidate channel.
+    Listening {
+        /// The LBT monitor for the candidate.
+        monitor: LbtMonitor,
+        /// Channels already found busy this scan round.
+        rejected: Vec<MicsChannel>,
+    },
+    /// A session channel has been acquired.
+    Established {
+        /// The channel in use.
+        channel: MicsChannel,
+        /// Seconds of persistent interference accumulated.
+        interference_s: f64,
+    },
+    /// Every channel in the band was busy.
+    BandBusy,
+}
+
+/// Configuration for session negotiation.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// CCA threshold, dBm: levels above this mark a channel busy.
+    pub cca_threshold_dbm: f64,
+    /// Seconds of persistent interference after which the pair abandons
+    /// the channel and rescans.
+    pub interference_tolerance_s: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            cca_threshold_dbm: -90.0,
+            interference_tolerance_s: 0.050,
+        }
+    }
+}
+
+/// The session state machine. Feed it observations; read its state.
+#[derive(Debug, Clone)]
+pub struct SessionNegotiator {
+    cfg: SessionConfig,
+    state: SessionState,
+    /// Sessions established so far (for diagnostics).
+    pub sessions_established: u64,
+    /// Channel changes forced by interference.
+    pub interference_moves: u64,
+}
+
+impl SessionNegotiator {
+    /// Starts negotiating, trying channel 0 first.
+    pub fn new(cfg: SessionConfig) -> Self {
+        SessionNegotiator {
+            state: SessionState::Listening {
+                monitor: LbtMonitor::new(MicsChannel(0), cfg.cca_threshold_dbm),
+                rejected: Vec::new(),
+            },
+            cfg,
+            sessions_established: 0,
+            interference_moves: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// The channel currently being listened on or used, if any.
+    pub fn current_channel(&self) -> Option<MicsChannel> {
+        match &self.state {
+            SessionState::Listening { monitor, .. } => Some(monitor.channel()),
+            SessionState::Established { channel, .. } => Some(*channel),
+            SessionState::BandBusy => None,
+        }
+    }
+
+    /// True once a session channel is held.
+    pub fn established(&self) -> bool {
+        matches!(self.state, SessionState::Established { .. })
+    }
+
+    /// Feeds one observation for the *current* channel: measured level
+    /// over `dt_s` seconds. Advances the state machine.
+    pub fn observe(&mut self, level_dbm: f64, dt_s: f64) {
+        match &mut self.state {
+            SessionState::Listening { monitor, rejected } => {
+                match monitor.observe(level_dbm, dt_s) {
+                    LbtOutcome::Monitoring => {}
+                    LbtOutcome::Clear => {
+                        self.sessions_established += 1;
+                        self.state = SessionState::Established {
+                            channel: monitor.channel(),
+                            interference_s: 0.0,
+                        };
+                    }
+                    LbtOutcome::Occupied => {
+                        let mut rejected = std::mem::take(rejected);
+                        rejected.push(monitor.channel());
+                        // Next candidate not yet rejected this round.
+                        let next = MicsChannel::all().find(|c| !rejected.contains(c));
+                        self.state = match next {
+                            Some(c) => SessionState::Listening {
+                                monitor: LbtMonitor::new(c, self.cfg.cca_threshold_dbm),
+                                rejected,
+                            },
+                            None => SessionState::BandBusy,
+                        };
+                    }
+                }
+            }
+            SessionState::Established {
+                channel,
+                interference_s,
+            } => {
+                if level_dbm > self.cfg.cca_threshold_dbm {
+                    *interference_s += dt_s;
+                    if *interference_s >= self.cfg.interference_tolerance_s {
+                        // Persistent interference: abandon and rescan,
+                        // starting from the next channel.
+                        let bad = *channel;
+                        self.interference_moves += 1;
+                        let next = MicsChannel((bad.0 + 1) % N_CHANNELS);
+                        self.state = SessionState::Listening {
+                            monitor: LbtMonitor::new(next, self.cfg.cca_threshold_dbm),
+                            rejected: vec![bad],
+                        };
+                    }
+                } else {
+                    *interference_s = 0.0;
+                }
+            }
+            SessionState::BandBusy => {}
+        }
+    }
+
+    /// Restarts scanning from scratch (e.g. a new clinical session).
+    pub fn rescan(&mut self) {
+        self.state = SessionState::Listening {
+            monitor: LbtMonitor::new(MicsChannel(0), self.cfg.cca_threshold_dbm),
+            rejected: Vec::new(),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> f64 {
+        -110.0
+    }
+    fn busy() -> f64 {
+        -60.0
+    }
+
+    #[test]
+    fn establishes_on_first_quiet_channel() {
+        let mut n = SessionNegotiator::new(SessionConfig::default());
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3);
+        }
+        assert!(n.established());
+        assert_eq!(n.current_channel(), Some(MicsChannel(0)));
+        assert_eq!(n.sessions_established, 1);
+    }
+
+    #[test]
+    fn skips_busy_channels() {
+        let mut n = SessionNegotiator::new(SessionConfig::default());
+        // Channel 0 busy; channel 1 busy; channel 2 quiet.
+        n.observe(busy(), 1e-3); // rejects 0
+        assert_eq!(n.current_channel(), Some(MicsChannel(1)));
+        n.observe(busy(), 1e-3); // rejects 1
+        assert_eq!(n.current_channel(), Some(MicsChannel(2)));
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3);
+        }
+        assert!(n.established());
+        assert_eq!(n.current_channel(), Some(MicsChannel(2)));
+    }
+
+    #[test]
+    fn whole_band_busy() {
+        let mut n = SessionNegotiator::new(SessionConfig::default());
+        for _ in 0..N_CHANNELS {
+            n.observe(busy(), 1e-3);
+        }
+        assert!(matches!(n.state(), SessionState::BandBusy));
+        assert_eq!(n.current_channel(), None);
+        // Recoverable.
+        n.rescan();
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3);
+        }
+        assert!(n.established());
+    }
+
+    #[test]
+    fn transient_interference_tolerated() {
+        let mut n = SessionNegotiator::new(SessionConfig::default());
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3);
+        }
+        assert!(n.established());
+        // 30 ms of interference, below the 50 ms tolerance, then quiet.
+        for _ in 0..30 {
+            n.observe(busy(), 1e-3);
+        }
+        assert!(n.established(), "must ride out transient interference");
+        n.observe(quiet(), 1e-3);
+        // The interference clock resets.
+        for _ in 0..30 {
+            n.observe(busy(), 1e-3);
+        }
+        assert!(n.established());
+    }
+
+    #[test]
+    fn persistent_interference_forces_channel_change() {
+        let mut n = SessionNegotiator::new(SessionConfig::default());
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3);
+        }
+        assert_eq!(n.current_channel(), Some(MicsChannel(0)));
+        // Exactly the tolerance's worth of continuous interference forces
+        // the move; after it the pair is scanning a fresh channel (which
+        // is quiet again in this test).
+        for _ in 0..50 {
+            n.observe(busy(), 1e-3);
+        }
+        assert!(!n.established());
+        assert_eq!(n.interference_moves, 1);
+        // It scans a *different* channel next (never back onto the bad one
+        // in this round).
+        assert_eq!(n.current_channel(), Some(MicsChannel(1)));
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3);
+        }
+        assert!(n.established());
+        assert_eq!(n.current_channel(), Some(MicsChannel(1)));
+        assert_eq!(n.sessions_established, 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Session timing parameters of MICS IMD communication.
+//!
+//! The properties the shield's passive-protection algorithm leans on (§6):
+//!
+//! 1. an IMD transmits only in response to a programmer message;
+//! 2. it responds **without sensing the medium**, within a bounded window
+//!    `[T1, T2]` after the message ends;
+//! 3. its packets last at most `P`.
+//!
+//! The shield therefore jams from `T1` after each message it sends until
+//! `(T2 − T1) + P` later, guaranteeing coverage of any reply. The paper
+//! measured, for the Virtuoso/Concerto devices: T1 = 2.8 ms, T2 = 3.7 ms,
+//! P = 21 ms, with a typical observed reply latency of ~3.5 ms (Fig. 3).
+
+/// Reply-timing profile of an IMD, calibrated per device (§6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplyTiming {
+    /// Earliest reply start after the triggering message ends, seconds.
+    pub t1_s: f64,
+    /// Latest reply start, seconds.
+    pub t2_s: f64,
+    /// Maximum packet duration, seconds.
+    pub p_s: f64,
+}
+
+impl ReplyTiming {
+    /// The values the paper measured for the Medtronic Virtuoso ICD and
+    /// Concerto CRT.
+    pub fn medtronic_measured() -> Self {
+        ReplyTiming {
+            t1_s: 2.8e-3,
+            t2_s: 3.7e-3,
+            p_s: 21e-3,
+        }
+    }
+
+    /// Duration the shield must jam, starting `t1_s` after its own
+    /// transmission ends: `(T2 − T1) + P` (§6).
+    pub fn jam_window_s(&self) -> f64 {
+        (self.t2_s - self.t1_s) + self.p_s
+    }
+
+    /// Validates the invariants `0 < T1 <= T2`, `P > 0`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.t1_s > 0.0 && self.t2_s >= self.t1_s && self.p_s > 0.0) {
+            return Err(format!(
+                "invalid reply timing: T1={} T2={} P={}",
+                self.t1_s, self.t2_s, self.p_s
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_values_match_paper() {
+        let t = ReplyTiming::medtronic_measured();
+        assert_eq!(t.t1_s, 0.0028);
+        assert_eq!(t.t2_s, 0.0037);
+        assert_eq!(t.p_s, 0.021);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn jam_window_formula() {
+        let t = ReplyTiming::medtronic_measured();
+        // (3.7 - 2.8) + 21 = 21.9 ms.
+        assert!((t.jam_window_s() - 0.0219).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(ReplyTiming {
+            t1_s: -1.0,
+            t2_s: 1.0,
+            p_s: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ReplyTiming {
+            t1_s: 2.0,
+            t2_s: 1.0,
+            p_s: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ReplyTiming {
+            t1_s: 1e-3,
+            t2_s: 2e-3,
+            p_s: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Bit/byte packing helpers and pseudo-random bit sequences.
+//!
+//! Bits are represented as `u8` values of 0 or 1, MSB-first within bytes —
+//! the order they appear on the air.
+
+/// Unpacks bytes into bits, MSB first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (MSB first) into bytes. The bit count must be a multiple of 8.
+///
+/// # Panics
+/// Panics if `bits.len() % 8 != 0` or any value is not 0/1.
+pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
+    assert!(bits.len() % 8 == 0, "bit count must be a multiple of 8");
+    bits.chunks(8)
+        .map(|chunk| {
+            chunk.iter().fold(0u8, |acc, &b| {
+                assert!(b <= 1, "bit values must be 0 or 1");
+                (acc << 1) | b
+            })
+        })
+        .collect()
+}
+
+/// Counts positions where two bit slices differ (Hamming distance over the
+/// common prefix).
+pub fn bit_errors(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).filter(|(x, y)| x != y).count()
+}
+
+/// Bit error rate between two sequences of the same nominal length.
+/// Compares over the shorter length; returns 0.5 on empty input (the
+/// "pure guessing" convention used in BER reporting).
+pub fn bit_error_rate(a: &[u8], b: &[u8]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.5;
+    }
+    bit_errors(a, b) as f64 / n as f64
+}
+
+/// A Fibonacci LFSR producing a PRBS-9 style pseudo-random bit sequence
+/// (x^9 + x^5 + 1). Used for test payloads and whitening.
+#[derive(Debug, Clone)]
+pub struct Prbs {
+    state: u16,
+}
+
+impl Prbs {
+    /// Creates a PRBS generator. A zero seed is mapped to 1 (the all-zero
+    /// state is a fixed point of the LFSR).
+    pub fn new(seed: u16) -> Self {
+        let state = if seed & 0x1FF == 0 { 1 } else { seed & 0x1FF };
+        Prbs { state }
+    }
+
+    /// Returns the next pseudo-random bit.
+    pub fn next_bit(&mut self) -> u8 {
+        let bit = ((self.state >> 8) ^ (self.state >> 4)) & 1;
+        self.state = ((self.state << 1) | bit) & 0x1FF;
+        bit as u8
+    }
+
+    /// Generates `n` bits.
+    pub fn bits(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+
+    /// Generates `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Vec<u8> {
+        bits_to_bytes(&self.bits(n * 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes_bits() {
+        let bytes = vec![0x00, 0xFF, 0xA5, 0x3C, 0x01];
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+    }
+
+    #[test]
+    fn msb_first_order() {
+        assert_eq!(bytes_to_bits(&[0x80]), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(bytes_to_bits(&[0x01]), vec![0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn bit_errors_counts() {
+        assert_eq!(bit_errors(&[0, 1, 0, 1], &[0, 1, 1, 0]), 2);
+        assert_eq!(bit_errors(&[1, 1], &[1, 1]), 0);
+    }
+
+    #[test]
+    fn ber_empty_is_half() {
+        assert_eq!(bit_error_rate(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn ber_fraction() {
+        assert!((bit_error_rate(&[0, 0, 0, 0], &[1, 0, 0, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prbs_period_is_511() {
+        // PRBS-9 has period 2^9 - 1.
+        let mut p = Prbs::new(0x1AB);
+        let first: Vec<u8> = p.bits(511);
+        let second: Vec<u8> = p.bits(511);
+        assert_eq!(first, second);
+        // And it's not a shorter period.
+        assert_ne!(first[..255], first[256..511]);
+    }
+
+    #[test]
+    fn prbs_is_balanced() {
+        let mut p = Prbs::new(1);
+        let bits = p.bits(511);
+        let ones: usize = bits.iter().map(|&b| b as usize).sum();
+        // PRBS-9 has exactly 256 ones per period.
+        assert_eq!(ones, 256);
+    }
+
+    #[test]
+    fn prbs_zero_seed_ok() {
+        let mut p = Prbs::new(0);
+        let bits = p.bits(100);
+        assert!(bits.iter().any(|&b| b == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn bits_to_bytes_rejects_ragged() {
+        let _ = bits_to_bytes(&[1, 0, 1]);
+    }
+}

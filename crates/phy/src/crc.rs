@@ -1,0 +1,126 @@
+//! Cyclic redundancy checks.
+//!
+//! The paper's threat analysis (§3.1, §7) rests on one property of the IMD:
+//! *"legitimate messages sent to an IMD have a checksum and the IMD will
+//! discard any message that fails the checksum test."* Jamming works by
+//! flipping bits so this check fails. We implement CRC-16/CCITT-FALSE for
+//! packet bodies and CRC-8 for short headers.
+
+/// CRC-16/CCITT-FALSE: polynomial 0x1021, init 0xFFFF, no reflection,
+/// no final XOR. Check value for "123456789" is 0x29B1.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// CRC-8 (ATM HEC): polynomial 0x07, init 0x00. Check value for
+/// "123456789" is 0xF4.
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc: u8 = 0;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            if crc & 0x80 != 0 {
+                crc = (crc << 1) ^ 0x07;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Verifies that `data` followed by its big-endian CRC-16 checks out.
+pub fn verify_crc16(data_with_crc: &[u8]) -> bool {
+    if data_with_crc.len() < 2 {
+        return false;
+    }
+    let (data, crc_bytes) = data_with_crc.split_at(data_with_crc.len() - 2);
+    let expected = u16::from_be_bytes([crc_bytes[0], crc_bytes[1]]);
+    crc16_ccitt(data) == expected
+}
+
+/// Appends a big-endian CRC-16 to `data`.
+pub fn append_crc16(data: &mut Vec<u8>) {
+    let crc = crc16_ccitt(data);
+    data.extend_from_slice(&crc.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_check_value() {
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc8_check_value() {
+        assert_eq!(crc8(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn crc16_empty() {
+        assert_eq!(crc16_ccitt(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn append_verify_roundtrip() {
+        let mut data = b"interrogate-imd".to_vec();
+        append_crc16(&mut data);
+        assert!(verify_crc16(&data));
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected() {
+        let mut data = b"therapy-parameters-v2".to_vec();
+        append_crc16(&mut data);
+        let n = data.len();
+        // Flip every single bit, one at a time; CRC-16 must catch each.
+        for byte in 0..n {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    !verify_crc16(&corrupted),
+                    "undetected flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_errors_detected() {
+        let mut data = vec![0x42; 32];
+        append_crc16(&mut data);
+        // All burst errors up to 16 bits are detected by CRC-16.
+        for start in 0..8 {
+            let mut corrupted = data.clone();
+            corrupted[start] ^= 0xFF;
+            corrupted[start + 1] ^= 0xFF;
+            assert!(!verify_crc16(&corrupted));
+        }
+    }
+
+    #[test]
+    fn verify_rejects_short_input() {
+        assert!(!verify_crc16(&[]));
+        assert!(!verify_crc16(&[0x12]));
+    }
+
+    #[test]
+    fn crc16_is_order_sensitive() {
+        assert_ne!(crc16_ccitt(b"ab"), crc16_ccitt(b"ba"));
+    }
+}

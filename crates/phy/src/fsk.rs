@@ -1,0 +1,438 @@
+//! Binary FSK modem — the air interface of MICS-band IMDs.
+//!
+//! The tested Medtronic devices use 2-FSK whose received spectrum
+//! concentrates around ±50 kHz within a 300 kHz channel (Fig. 4 of the
+//! paper). We model this as phase-continuous binary FSK: a `0` bit is a
+//! tone at `-deviation`, a `1` bit a tone at `+deviation`, with continuous
+//! phase across symbol boundaries (constant envelope, like real FSK
+//! transmitter hardware).
+//!
+//! Demodulation is **noncoherent matched filtering**: per symbol, correlate
+//! against both tones and pick the larger magnitude. This is the "optimal
+//! FSK decoder [38]" the paper equips the eavesdropper with; we verify the
+//! implementation against the textbook BER curve `0.5·exp(−SNR/2)` in the
+//! tests.
+
+use crate::bits::bit_errors;
+use crate::packet::{Frame, FrameError, PREAMBLE, SYNC_WORD};
+use hb_dsp::complex::C64;
+use std::f64::consts::PI;
+
+/// FSK air-interface parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FskParams {
+    /// Complex baseband sample rate, Hz.
+    pub fs_hz: f64,
+    /// Bit rate, bits/s. `fs_hz / bitrate` must be an integer.
+    pub bitrate: f64,
+    /// Tone deviation, Hz: bit 0 ↦ −deviation, bit 1 ↦ +deviation.
+    pub deviation_hz: f64,
+}
+
+impl FskParams {
+    /// The profile used throughout the reproduction: 300 kHz channel,
+    /// 12.5 kbps telemetry, ±50 kHz tones.
+    ///
+    /// The tone placement matches Fig. 4's energy concentration at ±50 kHz.
+    /// The bit rate is chosen so that (a) the longest 256-bit frame lasts
+    /// ~21 ms — the paper's max packet duration P — and (b) the
+    /// matched-filter processing gain (300 kHz / 12.5 kbps ≈ 13.8 dB)
+    /// makes the paper's measured 32 dB antenna cancellation sufficient
+    /// for its reported 0.2% packet loss at +20 dB jamming (§10.1(b)).
+    pub fn mics_default() -> Self {
+        FskParams {
+            fs_hz: 300e3,
+            bitrate: 12.5e3,
+            deviation_hz: 50e3,
+        }
+    }
+
+    /// Samples per symbol (integer by construction).
+    pub fn samples_per_symbol(&self) -> usize {
+        let sps = self.fs_hz / self.bitrate;
+        assert!(
+            (sps - sps.round()).abs() < 1e-9 && sps >= 1.0,
+            "fs/bitrate must be a positive integer, got {sps}"
+        );
+        sps.round() as usize
+    }
+
+    /// Tone frequency for a bit value.
+    pub fn tone_hz(&self, bit: u8) -> f64 {
+        if bit == 0 {
+            -self.deviation_hz
+        } else {
+            self.deviation_hz
+        }
+    }
+}
+
+/// Phase-continuous binary FSK modulator/demodulator.
+#[derive(Debug, Clone)]
+pub struct FskModem {
+    params: FskParams,
+    /// Per-sample phasor tables for the two tones (one symbol long),
+    /// conjugated, for the matched-filter correlations.
+    mf_zero: Vec<C64>,
+    mf_one: Vec<C64>,
+}
+
+impl FskModem {
+    /// Creates a modem for the given parameters.
+    pub fn new(params: FskParams) -> Self {
+        let sps = params.samples_per_symbol();
+        let make = |f: f64| -> Vec<C64> {
+            (0..sps)
+                .map(|n| C64::cis(-2.0 * PI * f * n as f64 / params.fs_hz))
+                .collect()
+        };
+        FskModem {
+            params,
+            mf_zero: make(params.tone_hz(0)),
+            mf_one: make(params.tone_hz(1)),
+        }
+    }
+
+    /// Air-interface parameters.
+    pub fn params(&self) -> &FskParams {
+        &self.params
+    }
+
+    /// Modulates bits into unit-amplitude, phase-continuous baseband
+    /// samples (`bits.len() * samples_per_symbol` samples).
+    pub fn modulate(&self, bits: &[u8]) -> Vec<C64> {
+        let sps = self.params.samples_per_symbol();
+        let mut out = Vec::with_capacity(bits.len() * sps);
+        let mut phase = 0.0f64;
+        for &bit in bits {
+            let dphi = 2.0 * PI * self.params.tone_hz(bit) / self.params.fs_hz;
+            for _ in 0..sps {
+                out.push(C64::cis(phase));
+                phase += dphi;
+                // Keep the accumulator bounded.
+                if phase > PI {
+                    phase -= 2.0 * PI;
+                } else if phase < -PI {
+                    phase += 2.0 * PI;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-symbol noncoherent detection statistics: `(e0, e1)` — squared
+    /// magnitudes of the correlations against the 0-tone and 1-tone.
+    fn symbol_energies(&self, symbol: &[C64]) -> (f64, f64) {
+        let mut c0 = C64::ZERO;
+        let mut c1 = C64::ZERO;
+        for (i, &x) in symbol.iter().enumerate() {
+            c0 += x * self.mf_zero[i];
+            c1 += x * self.mf_one[i];
+        }
+        (c0.norm_sq(), c1.norm_sq())
+    }
+
+    /// Demodulates symbol-aligned samples into hard bits. Trailing partial
+    /// symbols are ignored.
+    pub fn demodulate(&self, samples: &[C64]) -> Vec<u8> {
+        let sps = self.params.samples_per_symbol();
+        samples
+            .chunks_exact(sps)
+            .map(|sym| {
+                let (e0, e1) = self.symbol_energies(sym);
+                u8::from(e1 > e0)
+            })
+            .collect()
+    }
+
+    /// Soft demodulation: per symbol, returns `e1 − e0` normalized by the
+    /// total, in `[-1, 1]` (positive favours bit 1).
+    pub fn demodulate_soft(&self, samples: &[C64]) -> Vec<f64> {
+        let sps = self.params.samples_per_symbol();
+        samples
+            .chunks_exact(sps)
+            .map(|sym| {
+                let (e0, e1) = self.symbol_energies(sym);
+                let total = e0 + e1;
+                if total > 0.0 {
+                    (e1 - e0) / total
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Searches for a frame start within `samples` by trying every
+    /// sub-symbol alignment and scanning the demodulated bit stream for the
+    /// preamble + sync pattern (up to `max_pattern_errors` bit errors
+    /// allowed).
+    ///
+    /// Returns the *sample* index where the frame's first preamble symbol
+    /// begins.
+    pub fn find_frame_start(&self, samples: &[C64], max_pattern_errors: usize) -> Option<usize> {
+        let sps = self.params.samples_per_symbol();
+        let mut pattern = Vec::new();
+        pattern.extend_from_slice(&crate::bits::bytes_to_bits(&PREAMBLE));
+        pattern.extend_from_slice(&crate::bits::bytes_to_bits(&SYNC_WORD));
+
+        let mut best: Option<(usize, usize)> = None; // (errors, sample index)
+        for phase in 0..sps.min(samples.len()) {
+            let bits = self.demodulate(&samples[phase..]);
+            if bits.len() < pattern.len() {
+                continue;
+            }
+            for start in 0..=(bits.len() - pattern.len()) {
+                let errs = bit_errors(&bits[start..start + pattern.len()], &pattern);
+                if errs <= max_pattern_errors {
+                    let sample_idx = phase + start * sps;
+                    match best {
+                        Some((e, s)) if (errs, sample_idx) >= (e, s) => {}
+                        _ => best = Some((errs, sample_idx)),
+                    }
+                    // Earliest adequate match at this phase is enough.
+                    break;
+                }
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Attempts to receive a complete frame from a sample buffer: locates
+    /// the preamble/sync, demodulates from there, and parses.
+    pub fn receive_frame(&self, samples: &[C64]) -> Result<Frame, FskRxError> {
+        let start = self
+            .find_frame_start(samples, 4)
+            .ok_or(FskRxError::NoFrame)?;
+        let bits = self.demodulate(&samples[start..]);
+        Frame::from_bits(&bits).map_err(FskRxError::Frame)
+    }
+
+    /// On-air duration of `n_bits` in seconds.
+    pub fn duration_s(&self, n_bits: usize) -> f64 {
+        n_bits as f64 / self.params.bitrate
+    }
+
+    /// On-air duration of `n_bits` in samples.
+    pub fn duration_samples(&self, n_bits: usize) -> usize {
+        n_bits * self.params.samples_per_symbol()
+    }
+}
+
+/// Errors from [`FskModem::receive_frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FskRxError {
+    /// No preamble/sync pattern found in the buffer.
+    NoFrame,
+    /// Pattern found but the frame failed to parse (e.g. CRC).
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for FskRxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FskRxError::NoFrame => write!(f, "no frame detected"),
+            FskRxError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FskRxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::{bit_error_rate, Prbs};
+    use crate::packet::{FrameType, Serial};
+    use hb_dsp::complex::mean_power;
+    use hb_dsp::noise::white_noise;
+    use hb_dsp::special::fsk_noncoherent_ber;
+    use hb_dsp::units::ratio_from_db;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn modem() -> FskModem {
+        FskModem::new(FskParams::mics_default())
+    }
+
+    #[test]
+    fn modulated_signal_is_constant_envelope() {
+        let m = modem();
+        let sig = m.modulate(&[0, 1, 1, 0, 1, 0, 0, 1]);
+        for s in &sig {
+            assert!((s.abs() - 1.0).abs() < 1e-12);
+        }
+        assert!((mean_power(&sig) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modulation_is_phase_continuous() {
+        let m = modem();
+        let sig = m.modulate(&[0, 1, 0, 1]);
+        // Max phase step anywhere must equal one of the two tone increments.
+        let max_step = 2.0 * PI * 50e3 / 300e3 + 1e-9;
+        for w in sig.windows(2) {
+            let d = (w[1] * w[0].conj()).arg().abs();
+            assert!(d <= max_step, "phase jump {d}");
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let m = modem();
+        let mut prbs = Prbs::new(0x55);
+        let bits = prbs.bits(400);
+        let rx = m.demodulate(&m.modulate(&bits));
+        assert_eq!(bits, rx);
+    }
+
+    #[test]
+    fn soft_bits_sign_matches_hard_bits() {
+        let m = modem();
+        let bits = vec![0, 1, 1, 0, 0, 0, 1, 1, 0, 1];
+        let sig = m.modulate(&bits);
+        let soft = m.demodulate_soft(&sig);
+        for (b, s) in bits.iter().zip(&soft) {
+            if *b == 1 {
+                assert!(*s > 0.5);
+            } else {
+                assert!(*s < -0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn ber_tracks_theory_in_awgn() {
+        // Validate the demodulator against Pb = 0.5 exp(-SNR/2) for
+        // noncoherent orthogonal FSK. With matched-filter detection over a
+        // symbol, SNR here is Es/N0 measured in the symbol bandwidth.
+        let m = modem();
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut prbs = Prbs::new(0x1F);
+        let bits = prbs.bits(30_000);
+        let sig = m.modulate(&bits);
+        let sps = m.params().samples_per_symbol() as f64;
+
+        for &snr_db in &[4.0, 8.0, 11.0] {
+            // Per-sample noise power for the target Es/N0: signal power is 1,
+            // symbol energy is sps; matched filter gain is sps.
+            let es_n0 = ratio_from_db(snr_db);
+            let noise_power = sps / es_n0;
+            let noise = white_noise(&mut rng, sig.len(), noise_power);
+            let noisy: Vec<C64> = sig.iter().zip(&noise).map(|(&s, &n)| s + n).collect();
+            let rx = m.demodulate(&noisy);
+            let ber = bit_error_rate(&bits, &rx);
+            let theory = fsk_noncoherent_ber(es_n0);
+            // Within a factor ~2 of theory (tones at +-50kHz with 6 sps are
+            // nearly but not exactly orthogonal).
+            assert!(
+                ber < theory * 2.5 + 1e-4 && ber > theory * 0.3 - 1e-4,
+                "snr {snr_db} dB: ber {ber} vs theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_jamming_pushes_ber_to_half() {
+        let m = modem();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut prbs = Prbs::new(0x99);
+        let bits = prbs.bits(20_000);
+        let sig = m.modulate(&bits);
+        // Jam with white noise at +20 dB relative to the signal. The
+        // matched filter's 13.8 dB processing gain claws some back, so
+        // white jamming at this level leaves BER around 0.44; the shaped
+        // jammer (Fig. 5) closes the rest of the gap, which the Fig. 8a
+        // experiment demonstrates end to end.
+        let noise = white_noise(&mut rng, sig.len(), 100.0);
+        let jammed: Vec<C64> = sig.iter().zip(&noise).map(|(&s, &n)| s + n).collect();
+        let rx = m.demodulate(&jammed);
+        let ber = bit_error_rate(&bits, &rx);
+        assert!(ber > 0.40, "ber {ber}");
+        // And at +30 dB even white jamming reduces the channel to guessing.
+        let noise = white_noise(&mut rng, sig.len(), 1000.0);
+        let jammed: Vec<C64> = sig.iter().zip(&noise).map(|(&s, &n)| s + n).collect();
+        let ber = bit_error_rate(&bits, &m.demodulate(&jammed));
+        assert!((ber - 0.5).abs() < 0.03, "ber {ber}");
+    }
+
+    #[test]
+    fn frame_roundtrip_through_modem() {
+        let m = modem();
+        let f = Frame::new(
+            Serial::from_str_padded("VIRTUOSO01"),
+            FrameType::Response,
+            3,
+            vec![0xDE, 0xAD, 0xBE, 0xEF],
+        );
+        let sig = m.modulate(&f.to_bits());
+        let rx = m.receive_frame(&sig).unwrap();
+        assert_eq!(rx, f);
+    }
+
+    #[test]
+    fn frame_found_with_offset_and_noise() {
+        let m = modem();
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = Frame::new(
+            Serial::from_str_padded("CONCERTO02"),
+            FrameType::Command,
+            1,
+            vec![7; 8],
+        );
+        let sig = m.modulate(&f.to_bits());
+        // Prepend noise-only samples at an awkward offset.
+        let mut buf = white_noise(&mut rng, 451, 0.01);
+        buf.extend(sig.iter().map(|&s| s + white_noise(&mut rng, 1, 0.01)[0]));
+        let rx = m.receive_frame(&buf).unwrap();
+        assert_eq!(rx, f);
+    }
+
+    #[test]
+    fn no_frame_in_pure_noise() {
+        let m = modem();
+        let mut rng = StdRng::seed_from_u64(6);
+        let buf = white_noise(&mut rng, 4000, 1.0);
+        assert_eq!(m.receive_frame(&buf), Err(FskRxError::NoFrame));
+    }
+
+    #[test]
+    fn find_frame_start_locates_sample_index() {
+        let m = modem();
+        let f = Frame::new(Serial([3; 10]), FrameType::Probe, 0, vec![]);
+        let sig = m.modulate(&f.to_bits());
+        let mut buf = vec![C64::ZERO; 300];
+        buf.extend_from_slice(&sig);
+        let start = m.find_frame_start(&buf, 2).unwrap();
+        // Sub-symbol alignment may settle a few samples early (adjacent
+        // phases also decode cleanly over a zero prefix); any alignment
+        // within half a symbol of the true start is equivalent.
+        let sps = m.params().samples_per_symbol() as i64;
+        assert!(
+            (start as i64 - 300).abs() <= sps / 2,
+            "start {start} not within half a symbol of 300"
+        );
+        // What matters is that decoding from the reported start succeeds.
+        let bits = m.demodulate(&buf[start..]);
+        assert_eq!(Frame::from_bits(&bits).unwrap(), f);
+    }
+
+    #[test]
+    fn durations() {
+        let m = modem();
+        assert!((m.duration_s(12_500) - 1.0).abs() < 1e-12);
+        assert_eq!(m.duration_samples(100), 2400);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn rejects_fractional_sps() {
+        let _ = FskModem::new(FskParams {
+            fs_hz: 300e3,
+            bitrate: 44_100.0,
+            deviation_hz: 50e3,
+        })
+        .params()
+        .samples_per_symbol();
+    }
+}

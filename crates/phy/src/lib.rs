@@ -1,0 +1,35 @@
+//! # hb-phy — physical-layer modems and framing
+//!
+//! The air interfaces of the *heartbeats* workspace:
+//!
+//! * [`fsk`] — phase-continuous binary FSK with noncoherent matched-filter
+//!   demodulation: the IMD air interface (Fig. 4 of the paper) and the
+//!   eavesdropper's "optimal FSK decoder".
+//! * [`gmsk`] — GMSK modem modeling the Vaisala radiosonde cross-traffic of
+//!   the coexistence experiment (§11).
+//! * [`ofdm`] — OFDM substrate for the wideband antidote extension (§5).
+//! * [`packet`] — the IMD air-frame format: preamble, sync, 10-byte serial,
+//!   CRC-16 (the checksum whose failure makes jammed commands harmless).
+//! * [`matcher`] — the sliding `Sid` identifying-sequence matcher with
+//!   `bthresh` tolerance (§7's active-protection trigger).
+//! * [`rssi`] — RSSI estimation and energy-based carrier sensing
+//!   (listen-before-talk, Pthresh alarm measurements).
+//! * [`bits`], [`crc`] — bit manipulation and checksums.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod crc;
+pub mod fsk;
+pub mod gmsk;
+pub mod matcher;
+pub mod ofdm;
+pub mod packet;
+pub mod rssi;
+pub mod stream;
+
+pub use fsk::{FskModem, FskParams};
+pub use stream::{DetectorEvent, SidDetection, SidMonitor, StreamingDetector};
+pub use matcher::SidMatcher;
+pub use packet::{identifying_sequence, Frame, FrameError, FrameType, Serial};

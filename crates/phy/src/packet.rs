@@ -1,0 +1,357 @@
+//! Air-interface frame format for MICS-band IMD telemetry.
+//!
+//! The exact Medtronic frame layout is proprietary; the paper tells us what
+//! matters for the shield (§7(a)): packets use FSK, carry *"a known
+//! preamble, a header, and the device's ID, i.e. its 10-byte serial
+//! number"*, and end in a checksum that the IMD enforces. Our frame encodes
+//! exactly those elements:
+//!
+//! ```text
+//! | preamble 4B (0xAA…) | sync 2B (0x2D 0xD4) | serial 10B | type 1B |
+//! | seq 1B | len 2B (BE) | payload 0..=MAX | crc16 2B (BE) |
+//! ```
+//!
+//! The **identifying sequence** `Sid` that the shield matches against is the
+//! bit expansion of preamble + sync + serial — everything that is fixed for
+//! packets addressed to (or sent by) one particular device.
+
+use crate::bits::{bits_to_bytes, bytes_to_bits};
+use crate::crc::{crc16_ccitt, verify_crc16};
+
+/// Preamble bytes: alternating 1010… for symbol timing acquisition.
+pub const PREAMBLE: [u8; 4] = [0xAA, 0xAA, 0xAA, 0xAA];
+/// Frame sync word, chosen (as in common FSK transceivers) for good
+/// autocorrelation properties.
+pub const SYNC_WORD: [u8; 2] = [0x2D, 0xD4];
+/// Length of the device serial number in bytes (per the paper: 10 bytes).
+pub const SERIAL_LEN: usize = 10;
+/// Maximum payload length in bytes. At the 12.5 kbps FSK telemetry rate the
+/// longest frame (22 + 10 bytes = 256 bits) lasts 20.5 ms, matching the
+/// paper's max packet duration P = 21 ms. Longer records (ECG traces,
+/// interrogation reports) are fragmented across frames, as real IMD
+/// telemetry does.
+pub const MAX_PAYLOAD: usize = 10;
+/// Fixed per-frame overhead: preamble + sync + serial + type + seq + len + crc.
+pub const OVERHEAD: usize = PREAMBLE.len() + SYNC_WORD.len() + SERIAL_LEN + 1 + 1 + 2 + 2;
+
+/// A 10-byte device serial number (the device ID carried in every frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Serial(pub [u8; SERIAL_LEN]);
+
+impl Serial {
+    /// Builds a serial from an ASCII model string, truncated/zero-padded to
+    /// 10 bytes (e.g. `Serial::from_str_padded("VIRTUOSO01")`).
+    pub fn from_str_padded(s: &str) -> Self {
+        let mut b = [0u8; SERIAL_LEN];
+        for (i, &c) in s.as_bytes().iter().take(SERIAL_LEN).enumerate() {
+            b[i] = c;
+        }
+        Serial(b)
+    }
+}
+
+/// Frame type discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Programmer-to-IMD command.
+    Command = 0x01,
+    /// IMD-to-programmer response carrying data.
+    Response = 0x02,
+    /// Link-maintenance / probe frame.
+    Probe = 0x03,
+    /// Frame types we don't recognize are preserved numerically.
+    Other(u8),
+}
+
+impl FrameType {
+    /// Byte encoding of the frame type.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            FrameType::Command => 0x01,
+            FrameType::Response => 0x02,
+            FrameType::Probe => 0x03,
+            FrameType::Other(b) => b,
+        }
+    }
+
+    /// Decodes a frame-type byte.
+    pub fn from_byte(b: u8) -> Self {
+        match b {
+            0x01 => FrameType::Command,
+            0x02 => FrameType::Response,
+            0x03 => FrameType::Probe,
+            other => FrameType::Other(other),
+        }
+    }
+}
+
+/// A decoded (or to-be-encoded) air frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Device serial number this frame belongs to (destination for
+    /// commands, source for responses — IMD sessions are point-to-point).
+    pub serial: Serial,
+    /// Frame type.
+    pub frame_type: FrameType,
+    /// Sequence number (wraps at 255).
+    pub seq: u8,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Input shorter than the fixed overhead.
+    TooShort,
+    /// Sync word not found where expected.
+    BadSync,
+    /// Length field exceeds [`MAX_PAYLOAD`] or the available bytes.
+    BadLength,
+    /// Checksum mismatch — *this is the error jamming induces*; the IMD
+    /// discards such frames (§3.1).
+    BadCrc,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort => write!(f, "frame too short"),
+            FrameError::BadSync => write!(f, "sync word mismatch"),
+            FrameError::BadLength => write!(f, "invalid length field"),
+            FrameError::BadCrc => write!(f, "checksum failure"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl Frame {
+    /// Creates a frame.
+    ///
+    /// # Panics
+    /// Panics if the payload exceeds [`MAX_PAYLOAD`].
+    pub fn new(serial: Serial, frame_type: FrameType, seq: u8, payload: Vec<u8>) -> Self {
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "payload {} exceeds MAX_PAYLOAD {}",
+            payload.len(),
+            MAX_PAYLOAD
+        );
+        Frame {
+            serial,
+            frame_type,
+            seq,
+            payload,
+        }
+    }
+
+    /// Serializes to on-air bytes (preamble through CRC).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(OVERHEAD + self.payload.len());
+        out.extend_from_slice(&PREAMBLE);
+        out.extend_from_slice(&SYNC_WORD);
+        // The CRC covers everything after the sync word.
+        let body_start = out.len();
+        out.extend_from_slice(&self.serial.0);
+        out.push(self.frame_type.to_byte());
+        out.push(self.seq);
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc16_ccitt(&out[body_start..]);
+        out.extend_from_slice(&crc.to_be_bytes());
+        out
+    }
+
+    /// Serializes to on-air bits (MSB first), ready for the modulator.
+    pub fn to_bits(&self) -> Vec<u8> {
+        bytes_to_bits(&self.to_bytes())
+    }
+
+    /// Parses a frame from bytes that start at the preamble.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Frame, FrameError> {
+        if bytes.len() < OVERHEAD {
+            return Err(FrameError::TooShort);
+        }
+        let sync_at = PREAMBLE.len();
+        if bytes[sync_at..sync_at + 2] != SYNC_WORD {
+            return Err(FrameError::BadSync);
+        }
+        let body = &bytes[sync_at + 2..];
+        let mut serial = [0u8; SERIAL_LEN];
+        serial.copy_from_slice(&body[..SERIAL_LEN]);
+        let frame_type = FrameType::from_byte(body[SERIAL_LEN]);
+        let seq = body[SERIAL_LEN + 1];
+        let len = u16::from_be_bytes([body[SERIAL_LEN + 2], body[SERIAL_LEN + 3]]) as usize;
+        if len > MAX_PAYLOAD || body.len() < SERIAL_LEN + 4 + len + 2 {
+            return Err(FrameError::BadLength);
+        }
+        let with_crc = &body[..SERIAL_LEN + 4 + len + 2];
+        if !verify_crc16(with_crc) {
+            return Err(FrameError::BadCrc);
+        }
+        let payload = body[SERIAL_LEN + 4..SERIAL_LEN + 4 + len].to_vec();
+        Ok(Frame {
+            serial: Serial(serial),
+            frame_type,
+            seq,
+            payload,
+        })
+    }
+
+    /// Parses a frame from demodulated bits starting at the preamble.
+    pub fn from_bits(bits: &[u8]) -> Result<Frame, FrameError> {
+        let usable = bits.len() - bits.len() % 8;
+        if usable == 0 {
+            return Err(FrameError::TooShort);
+        }
+        Frame::from_bytes(&bits_to_bytes(&bits[..usable]))
+    }
+
+    /// Total on-air length in bits.
+    pub fn bit_len(&self) -> usize {
+        (OVERHEAD + self.payload.len()) * 8
+    }
+
+    /// On-air duration in seconds at `bitrate` bits/s.
+    pub fn duration_s(&self, bitrate: f64) -> f64 {
+        self.bit_len() as f64 / bitrate
+    }
+}
+
+/// Builds the identifying sequence `Sid` for a device: the bits of
+/// preamble + sync + serial (§7(a)). Every frame addressed to (or sent by)
+/// the device begins with exactly these `16*8 = 128` bits.
+pub fn identifying_sequence(serial: Serial) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(PREAMBLE.len() + SYNC_WORD.len() + SERIAL_LEN);
+    bytes.extend_from_slice(&PREAMBLE);
+    bytes.extend_from_slice(&SYNC_WORD);
+    bytes.extend_from_slice(&serial.0);
+    bytes_to_bits(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Frame {
+        Frame::new(
+            Serial::from_str_padded("VIRTUOSO01"),
+            FrameType::Command,
+            7,
+            vec![1, 2, 3, 4, 5],
+        )
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let f = sample_frame();
+        let decoded = Frame::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(f, decoded);
+    }
+
+    #[test]
+    fn roundtrip_bits() {
+        let f = sample_frame();
+        let decoded = Frame::from_bits(&f.to_bits()).unwrap();
+        assert_eq!(f, decoded);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let f = Frame::new(Serial([9; 10]), FrameType::Probe, 0, vec![]);
+        assert_eq!(Frame::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+
+    #[test]
+    fn max_payload_roundtrip() {
+        let f = Frame::new(
+            Serial([1; 10]),
+            FrameType::Response,
+            255,
+            vec![0xAB; MAX_PAYLOAD],
+        );
+        assert_eq!(Frame::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+
+    #[test]
+    fn max_frame_duration_is_21ms_at_telemetry_rate() {
+        let f = Frame::new(Serial([0; 10]), FrameType::Response, 0, vec![0; MAX_PAYLOAD]);
+        let d = f.duration_s(12_500.0);
+        assert!(d <= 0.021, "duration {d}");
+        assert!(d >= 0.020, "duration {d}");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let f = sample_frame();
+        let mut bytes = f.to_bytes();
+        let n = bytes.len();
+        bytes[n - 5] ^= 0x10;
+        assert_eq!(Frame::from_bytes(&bytes), Err(FrameError::BadCrc));
+    }
+
+    #[test]
+    fn corrupted_serial_fails_crc() {
+        let f = sample_frame();
+        let mut bytes = f.to_bytes();
+        bytes[PREAMBLE.len() + 2] ^= 0x01;
+        assert_eq!(Frame::from_bytes(&bytes), Err(FrameError::BadCrc));
+    }
+
+    #[test]
+    fn bad_sync_detected() {
+        let f = sample_frame();
+        let mut bytes = f.to_bytes();
+        bytes[4] ^= 0xFF;
+        assert_eq!(Frame::from_bytes(&bytes), Err(FrameError::BadSync));
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert_eq!(Frame::from_bytes(&[0xAA; 5]), Err(FrameError::TooShort));
+    }
+
+    #[test]
+    fn oversized_length_field_rejected() {
+        let f = sample_frame();
+        let mut bytes = f.to_bytes();
+        // Corrupt the length field to a huge value; CRC would also fail but
+        // length sanity fires first.
+        let len_at = PREAMBLE.len() + 2 + SERIAL_LEN + 2;
+        bytes[len_at] = 0xFF;
+        bytes[len_at + 1] = 0xFF;
+        assert_eq!(Frame::from_bytes(&bytes), Err(FrameError::BadLength));
+    }
+
+    #[test]
+    fn sid_is_128_bits_and_starts_with_preamble() {
+        let sid = identifying_sequence(Serial::from_str_padded("CONCERTO02"));
+        assert_eq!(sid.len(), 128);
+        // 0xAA = 10101010
+        assert_eq!(&sid[..8], &[1, 0, 1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn sid_differs_between_devices() {
+        let a = identifying_sequence(Serial::from_str_padded("VIRTUOSO01"));
+        let b = identifying_sequence(Serial::from_str_padded("CONCERTO02"));
+        assert_ne!(a, b);
+        // But the first 48 bits (preamble+sync) agree.
+        assert_eq!(&a[..48], &b[..48]);
+    }
+
+    #[test]
+    fn frame_type_byte_roundtrip() {
+        for b in [0x01, 0x02, 0x03, 0x7F, 0xEE] {
+            assert_eq!(FrameType::from_byte(b).to_byte(), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PAYLOAD")]
+    fn oversize_payload_panics() {
+        let _ = Frame::new(Serial([0; 10]), FrameType::Command, 0, vec![0; MAX_PAYLOAD + 1]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Received signal strength (RSSI) estimation and energy-based carrier
+//! sensing.
+//!
+//! Power convention used across the workspace: **a mean sample power of 1.0
+//! corresponds to 0 dBm**. Transmit powers, pathloss, and noise floors are
+//! all expressed on this scale, so `rssi_dbm` of a received block is
+//! directly comparable to the paper's dBm numbers (e.g. Table 1's Pthresh).
+
+use hb_dsp::complex::{mean_power, C64};
+use hb_dsp::units::{db_from_ratio, ratio_from_db};
+
+/// RSSI of a sample block in dBm (mean power 1.0 ≡ 0 dBm).
+///
+/// Returns −200 dBm for an empty or all-zero block.
+pub fn rssi_dbm(samples: &[C64]) -> f64 {
+    let p = mean_power(samples);
+    if p <= 0.0 {
+        -200.0
+    } else {
+        db_from_ratio(p)
+    }
+}
+
+/// Converts a dBm level to the linear mean-power scale.
+pub fn power_from_dbm(dbm: f64) -> f64 {
+    ratio_from_db(dbm)
+}
+
+/// A sliding-window energy detector for clear-channel assessment and
+/// signal-presence detection.
+///
+/// Drives two shield behaviours: the MICS listen-before-talk rule (§2) and
+/// "if it detects a signal on the medium, it proceeds to decode it" (§7).
+#[derive(Debug, Clone)]
+pub struct EnergyDetector {
+    threshold_power: f64,
+    window: Vec<f64>,
+    head: usize,
+    filled: usize,
+    sum: f64,
+}
+
+impl EnergyDetector {
+    /// Creates a detector that reports *busy* when the mean power over the
+    /// last `window_len` samples exceeds `threshold_dbm`.
+    pub fn new(threshold_dbm: f64, window_len: usize) -> Self {
+        assert!(window_len > 0, "window must be non-empty");
+        EnergyDetector {
+            threshold_power: power_from_dbm(threshold_dbm),
+            window: vec![0.0; window_len],
+            head: 0,
+            filled: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes one sample; returns `true` if the medium is currently busy.
+    pub fn push(&mut self, sample: C64) -> bool {
+        let p = sample.norm_sq();
+        self.sum -= self.window[self.head];
+        self.window[self.head] = p;
+        self.sum += p;
+        self.head = (self.head + 1) % self.window.len();
+        if self.filled < self.window.len() {
+            self.filled += 1;
+        }
+        self.busy()
+    }
+
+    /// Pushes a block; returns `true` if the detector was busy at any point
+    /// during the block.
+    pub fn push_block(&mut self, samples: &[C64]) -> bool {
+        let mut any = false;
+        for &s in samples {
+            any |= self.push(s);
+        }
+        any
+    }
+
+    /// Current busy state.
+    pub fn busy(&self) -> bool {
+        self.filled == self.window.len() && self.sum / self.filled as f64 > self.threshold_power
+    }
+
+    /// Mean power over the current window, in dBm.
+    pub fn level_dbm(&self) -> f64 {
+        if self.filled == 0 {
+            return -200.0;
+        }
+        let p = self.sum / self.filled as f64;
+        if p <= 0.0 {
+            -200.0
+        } else {
+            db_from_ratio(p)
+        }
+    }
+
+    /// Clears the window.
+    pub fn reset(&mut self) {
+        for w in self.window.iter_mut() {
+            *w = 0.0;
+        }
+        self.head = 0;
+        self.filled = 0;
+        self.sum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_dsp::noise::white_noise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rssi_of_unit_power_is_zero_dbm() {
+        let s = vec![C64::ONE; 100];
+        assert!((rssi_dbm(&s) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rssi_scales_with_power() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = white_noise(&mut rng, 50_000, power_from_dbm(-30.0));
+        assert!((rssi_dbm(&s) - (-30.0)).abs() < 0.3);
+    }
+
+    #[test]
+    fn rssi_empty_sentinel() {
+        assert_eq!(rssi_dbm(&[]), -200.0);
+        assert_eq!(rssi_dbm(&[C64::ZERO; 4]), -200.0);
+    }
+
+    #[test]
+    fn detector_quiet_then_busy() {
+        let mut d = EnergyDetector::new(-40.0, 16);
+        let quiet = vec![C64::ZERO; 32];
+        assert!(!d.push_block(&quiet));
+        let loud = vec![C64::ONE; 32];
+        assert!(d.push_block(&loud));
+        assert!(d.busy());
+        assert!((d.level_dbm() - 0.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn detector_returns_to_idle() {
+        let mut d = EnergyDetector::new(-40.0, 8);
+        d.push_block(&vec![C64::ONE; 16]);
+        assert!(d.busy());
+        d.push_block(&vec![C64::ZERO; 16]);
+        assert!(!d.busy());
+    }
+
+    #[test]
+    fn detector_does_not_fire_before_window_fills() {
+        let mut d = EnergyDetector::new(-40.0, 32);
+        // Even loud samples shouldn't assert busy until the window is full:
+        // prevents one-sample glitches from triggering CCA.
+        for _ in 0..31 {
+            assert!(!d.push(C64::ONE));
+        }
+        assert!(d.push(C64::ONE));
+    }
+
+    #[test]
+    fn below_threshold_noise_is_idle() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = EnergyDetector::new(-40.0, 64);
+        let noise = white_noise(&mut rng, 1000, power_from_dbm(-60.0));
+        assert!(!d.push_block(&noise));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut d = EnergyDetector::new(-40.0, 4);
+        d.push_block(&vec![C64::ONE; 8]);
+        d.reset();
+        assert!(!d.busy());
+        assert_eq!(d.level_dbm(), -200.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the PHY layer.
+
+use hb_phy::bits::{bit_error_rate, bits_to_bytes, bytes_to_bits};
+use hb_phy::crc::{append_crc16, crc16_ccitt, verify_crc16};
+use hb_phy::fsk::{FskModem, FskParams};
+use hb_phy::gmsk::{GmskModem, GmskParams};
+use hb_phy::ofdm::{OfdmModem, OfdmParams};
+use hb_phy::packet::{Frame, FrameType, Serial, MAX_PAYLOAD};
+use hb_phy::stream::{DetectorEvent, StreamingDetector};
+use proptest::prelude::*;
+
+proptest! {
+    /// FSK is a faithful channel at infinite SNR for any bit pattern.
+    #[test]
+    fn fsk_modem_identity(bits in prop::collection::vec(0u8..2, 1..300)) {
+        let m = FskModem::new(FskParams::mics_default());
+        prop_assert_eq!(m.demodulate(&m.modulate(&bits)), bits);
+    }
+
+    /// GMSK recovers interior bits cleanly for any pattern.
+    #[test]
+    fn gmsk_interior_identity(bits in prop::collection::vec(0u8..2, 8..120)) {
+        let m = GmskModem::new(GmskParams {
+            fs_hz: 300e3,
+            bitrate: 30e3,
+            bt: 0.5,
+        });
+        let rx = m.demodulate(&m.modulate(&bits));
+        // Skip pulse-span edges.
+        let ber = bit_error_rate(&bits[2..bits.len() - 2], &rx[2..bits.len() - 2]);
+        prop_assert!(ber < 0.02, "ber {}", ber);
+    }
+
+    /// OFDM round-trips any bit pattern through a random flat channel.
+    #[test]
+    fn ofdm_flat_channel_identity(
+        bits in prop::collection::vec(0u8..2, 1..512),
+        gain in 0.2f64..2.0,
+        phase in -3.1f64..3.1,
+    ) {
+        let m = OfdmModem::new(OfdmParams::small());
+        let h = hb_dsp::C64::from_polar(gain, phase);
+        let tx = m.modulate(&bits);
+        let rx_sig: Vec<hb_dsp::C64> = tx.iter().map(|&s| s * h).collect();
+        let rx = m.demodulate(&rx_sig);
+        prop_assert_eq!(&rx[..bits.len()], &bits[..]);
+    }
+
+    /// CRC is order-sensitive and deterministic.
+    #[test]
+    fn crc_deterministic(data in prop::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(crc16_ccitt(&data), crc16_ccitt(&data));
+        let mut framed = data;
+        append_crc16(&mut framed);
+        prop_assert!(verify_crc16(&framed));
+    }
+
+    /// Any byte swap in the body breaks the CRC.
+    #[test]
+    fn crc_detects_swaps(
+        data in prop::collection::vec(any::<u8>(), 2..64),
+        i in any::<prop::sample::Index>(),
+        j in any::<prop::sample::Index>(),
+    ) {
+        let a = i.index(data.len());
+        let b = j.index(data.len());
+        prop_assume!(a != b && data[a] != data[b]);
+        let mut framed = data.clone();
+        append_crc16(&mut framed);
+        framed.swap(a, b);
+        prop_assert!(!verify_crc16(&framed));
+    }
+
+    /// Bit packing round-trips and is length-preserving.
+    #[test]
+    fn bit_packing(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let bits = bytes_to_bits(&bytes);
+        prop_assert_eq!(bits.len(), bytes.len() * 8);
+        prop_assert_eq!(bits_to_bytes(&bits), bytes);
+    }
+
+    /// The streaming detector finds any frame embedded in silence, at any
+    /// offset and block size, and reproduces it exactly.
+    #[test]
+    fn streaming_detector_finds_any_frame(
+        payload in prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
+        serial in prop::array::uniform10(any::<u8>()),
+        offset in 0usize..100,
+        block in 1usize..64,
+    ) {
+        let m = FskModem::new(FskParams::mics_default());
+        let frame = Frame::new(Serial(serial), FrameType::Command, 3, payload);
+        let mut sig = vec![hb_dsp::C64::ZERO; offset];
+        sig.extend(m.modulate(&frame.to_bits()));
+        sig.extend(vec![hb_dsp::C64::ZERO; 3000]);
+
+        let mut det = StreamingDetector::new(FskParams::mics_default(), 4);
+        let mut found = None;
+        for chunk in sig.chunks(block) {
+            for e in det.push_block(chunk) {
+                if let DetectorEvent::FrameDone { result, .. } = e {
+                    found = Some(result);
+                }
+            }
+        }
+        prop_assert_eq!(found.unwrap().unwrap(), frame);
+    }
+}

@@ -1,0 +1,106 @@
+//! Legitimate cross-traffic: a meteorological radiosonde transmitter.
+//!
+//! §11: meteorological aids are the *primary* users of the 402–405 MHz
+//! band; the shield must never jam them. The paper models them after the
+//! Vaisala RS92-AGP digital radiosonde, which uses GMSK — so do we.
+
+use hb_channel::medium::{AntennaId, Medium, Tick};
+use hb_channel::sim::Node;
+use hb_channel::txsched::TxScheduler;
+use hb_dsp::units::ratio_from_db;
+use hb_phy::bits::Prbs;
+use hb_phy::gmsk::{GmskModem, GmskParams};
+
+/// A radiosonde-style GMSK transmitter.
+pub struct CrossTrafficNode {
+    antenna: AntennaId,
+    modem: GmskModem,
+    tx: TxScheduler,
+    tx_power_dbm: f64,
+    prbs: Prbs,
+    /// Ground-truth (start, end, channel) of each packet sent.
+    pub tx_log: Vec<(Tick, Tick, usize)>,
+}
+
+impl CrossTrafficNode {
+    /// Creates a radiosonde transmitter on `antenna` at `tx_power_dbm`.
+    pub fn new(antenna: AntennaId, tx_power_dbm: f64) -> Self {
+        CrossTrafficNode {
+            antenna,
+            modem: GmskModem::new(GmskParams::radiosonde_rs92()),
+            tx: TxScheduler::new(),
+            tx_power_dbm,
+            prbs: Prbs::new(0x155),
+            tx_log: Vec::new(),
+        }
+    }
+
+    /// Schedules one telemetry packet of `n_bits` at `start_tick`.
+    pub fn send_packet(&mut self, start_tick: Tick, channel: usize, n_bits: usize) {
+        let bits = self.prbs.bits(n_bits);
+        let mut wave = self.modem.modulate(&bits);
+        let amp = ratio_from_db(self.tx_power_dbm).sqrt();
+        for s in wave.iter_mut() {
+            *s = s.scale(amp);
+        }
+        let end = start_tick + wave.len() as Tick;
+        self.tx.schedule(start_tick, channel, wave);
+        self.tx_log.push((start_tick, end, channel));
+    }
+
+    /// End tick of the most recent packet.
+    pub fn last_end(&self) -> Option<Tick> {
+        self.tx_log.last().map(|&(_, e, _)| e)
+    }
+
+    /// The transmitter's antenna.
+    pub fn antenna(&self) -> AntennaId {
+        self.antenna
+    }
+}
+
+impl Node for CrossTrafficNode {
+    fn label(&self) -> &str {
+        "radiosonde"
+    }
+
+    fn produce(&mut self, medium: &mut Medium) {
+        self.tx.produce(self.antenna, medium);
+    }
+
+    fn consume(&mut self, _medium: &mut Medium) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_channel::geometry::Placement;
+    use hb_channel::medium::MediumConfig;
+    use hb_dsp::units::db_from_ratio;
+
+    #[test]
+    fn packet_airs_at_configured_power() {
+        let mut m = Medium::new(
+            MediumConfig {
+                noise_floor_dbm: -150.0,
+                ..Default::default()
+            },
+            4,
+        );
+        let tx = m.add_antenna(Placement::los("sonde", 0.0, 0.0));
+        let rx = m.add_antenna(Placement::los("rx", 1.0, 0.0));
+        m.set_gain(tx, rx, hb_dsp::C64::ONE);
+        let mut sonde = CrossTrafficNode::new(tx, -16.0);
+        sonde.send_packet(0, 0, 100);
+        let mut acc = Vec::new();
+        for _ in 0..200 {
+            sonde.produce(&mut m);
+            acc.extend(m.receive(rx, 0));
+            m.end_block();
+        }
+        let body = &acc[100..3000];
+        let p = db_from_ratio(hb_dsp::complex::mean_power(body));
+        assert!((p - (-16.0)).abs() < 0.5, "on-air {p} dBm");
+        assert_eq!(sonde.tx_log.len(), 1);
+    }
+}

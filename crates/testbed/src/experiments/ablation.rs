@@ -1,0 +1,404 @@
+//! Ablations of the shield's design choices (beyond the paper's own
+//! figures, as called out in DESIGN.md):
+//!
+//! * **Shaped vs flat jamming** — Fig. 5 argues shaping matters; this
+//!   ablation measures it end to end: eavesdropper BER at equal jamming
+//!   power under both jammers.
+//! * **Cancellation sweep** — how shield PER degrades as the achievable
+//!   cancellation `G` shrinks (the SINR gap of Eq. 9 in action).
+//! * **Turn-around profile** — software (270 µs) vs hardware (10 µs)
+//!   implementation, measured at the jam-release point.
+
+use crate::report::{Artifact, Series};
+use crate::scenario::{ScenarioBuilder, ScenarioConfig};
+use hb_adversary::eavesdropper::Eavesdropper;
+use hb_imd::commands::Command;
+use hb_shield::jamsignal::JamSignal;
+
+use super::{relay_one_exchange, Effort};
+
+/// Shaped-vs-flat end-to-end result.
+#[derive(Debug, Clone)]
+pub struct JamShapeAblation {
+    /// Eavesdropper BER under the shaped jammer.
+    pub ber_shaped: f64,
+    /// Eavesdropper BER under the flat jammer at the same power.
+    pub ber_flat: f64,
+    /// Rendered artifact.
+    pub artifact: Artifact,
+}
+
+/// Measures eavesdropper BER at location 1 with a given jammer.
+///
+/// Runs at a reduced +8 dB jamming margin: at the full +20 dB operating
+/// point *both* jammers saturate the eavesdropper at BER ≈ 0.5, hiding
+/// the difference; the shaping advantage is a power-budget argument and
+/// shows at the margin where power is scarce.
+fn ber_with_jammer(flat: bool, packets: usize, seed: u64) -> f64 {
+    let mut cfg = ScenarioConfig::paper(seed);
+    cfg.jam_margin_db = Some(8.0);
+    let mut builder = ScenarioBuilder::new(cfg);
+    let eve_ant = builder.add_at_location(1, "eve");
+    let mut scenario = builder.build();
+    if flat {
+        let fft = scenario.shield.as_ref().unwrap().config().fft_size;
+        scenario
+            .shield
+            .as_mut()
+            .unwrap()
+            .set_jammer(JamSignal::flat(fft));
+    }
+    let mut eve = Eavesdropper::new(scenario.imd.config().fsk, eve_ant, scenario.channel());
+    let mut errors = 0usize;
+    let mut total = 0usize;
+    for _ in 0..packets {
+        relay_one_exchange(&mut scenario, &mut [&mut eve], Command::Interrogate);
+        for record in scenario.imd.take_tx_log() {
+            let ber = eve.ber_against(record.start_tick, &record.bits);
+            errors += (ber * record.bits.len() as f64).round() as usize;
+            total += record.bits.len();
+        }
+        eve.clear();
+    }
+    errors as f64 / total.max(1) as f64
+}
+
+/// Runs the shaped-vs-flat ablation.
+pub fn jam_shape(effort: Effort, seed: u64) -> JamShapeAblation {
+    let ber_shaped = ber_with_jammer(false, effort.packets_per_location, seed);
+    let ber_flat = ber_with_jammer(true, effort.packets_per_location, seed);
+    let mut artifact = Artifact::new(
+        "Ablation: jam shaping",
+        "Eavesdropper BER at location 1, equal jamming power",
+    );
+    artifact.push_series(Series::new(
+        "BER (0 = flat profile, 1 = shaped)",
+        vec![(0.0, ber_flat), (1.0, ber_shaped)],
+    ));
+    artifact.note(format!(
+        "shaped {ber_shaped:.3} vs flat {ber_flat:.3}: matching the IMD's spectrum \
+         concentrates jamming where the matched filter listens (§6(a))"
+    ));
+    JamShapeAblation {
+        ber_shaped,
+        ber_flat,
+        artifact,
+    }
+}
+
+/// Cancellation-sweep result.
+#[derive(Debug, Clone)]
+pub struct CancellationAblation {
+    /// (mean cancellation dB, shield packet loss).
+    pub per_vs_g: Vec<(f64, f64)>,
+    /// Rendered artifact.
+    pub artifact: Artifact,
+}
+
+/// Sweeps the achievable cancellation and measures shield PER.
+pub fn cancellation_sweep(effort: Effort, seed: u64) -> CancellationAblation {
+    let mut per_vs_g = Vec::new();
+    for (i, g) in [20.0, 24.0, 28.0, 32.0, 38.0].into_iter().enumerate() {
+        // A fn-pointer tweak keyed off a thread-local would be clumsy;
+        // instead rebuild with a custom config through the tweak hook.
+        fn set20(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 20.0; }
+        fn set24(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 24.0; }
+        fn set28(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 28.0; }
+        fn set32(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 32.0; }
+        fn set38(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 38.0; }
+        let tweak: fn(&mut hb_shield::shield::ShieldConfig) = match i {
+            0 => set20,
+            1 => set24,
+            2 => set28,
+            3 => set32,
+            _ => set38,
+        };
+        let mut cfg = ScenarioConfig::paper(seed.wrapping_add(i as u64 * 37));
+        cfg.shield_tweak = Some(tweak);
+        let mut scenario = ScenarioBuilder::new(cfg).build();
+        for _ in 0..effort.packets_per_location {
+            relay_one_exchange(&mut scenario, &mut [], Command::Interrogate);
+        }
+        let sent = scenario.imd.stats.responses_sent.max(1);
+        let ok = scenario.shield.as_ref().unwrap().stats.imd_frames_ok;
+        per_vs_g.push((g, 1.0 - ok as f64 / sent as f64));
+    }
+    let mut artifact = Artifact::new(
+        "Ablation: cancellation depth",
+        "Shield packet loss vs achievable antidote cancellation G",
+    );
+    artifact.push_series(Series::new("PER vs G (dB)", per_vs_g.clone()));
+    artifact.note(
+        "Eq. 9 in action: SINR_S = SINR_A + G; with the +20 dB jamming margin, \
+         the shield needs roughly G > 26 dB to keep PER near zero",
+    );
+    CancellationAblation { per_vs_g, artifact }
+}
+
+/// Turn-around comparison result.
+#[derive(Debug, Clone)]
+pub struct TurnaroundAblation {
+    /// Mean measured turn-around, software profile, seconds.
+    pub software_s: f64,
+    /// Mean measured turn-around, hardware profile, seconds.
+    pub hardware_s: f64,
+    /// Rendered artifact.
+    pub artifact: Artifact,
+}
+
+/// Compares the software (GNU Radio, 270 µs) and hardware (~10 µs)
+/// turn-around profiles at the jam-release point (§11 argues a hardware
+/// implementation would free the channel an order of magnitude faster).
+pub fn turnaround(effort: Effort, seed: u64) -> TurnaroundAblation {
+    fn set_hw(c: &mut hb_shield::shield::ShieldConfig) {
+        c.turnaround = hb_shield::shield::TurnaroundProfile::Hardware;
+    }
+    let mut means = Vec::new();
+    for hw in [false, true] {
+        let mut cfg = ScenarioConfig::paper(seed.wrapping_add(hw as u64));
+        if hw {
+            cfg.shield_tweak = Some(set_hw);
+        }
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        let reps = effort.attempts_per_location.max(3);
+        for r in 0..reps {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(r as u64 * 131);
+            let mut builder = ScenarioBuilder::new(c);
+            let atk_ant = builder.add_at_location(1, "atk");
+            let mut scenario = builder.build();
+            let mut atk = hb_adversary::active::ActiveAttacker::new(
+                hb_adversary::active::AttackerConfig::commercial_programmer(),
+                atk_ant,
+            );
+            let serial = scenario.imd.config().serial;
+            let ch = scenario.channel();
+            atk.send_forged_command(64, ch, serial, Command::Interrogate);
+            scenario.run_seconds(&mut [&mut atk as &mut dyn hb_channel::sim::Node], 0.08);
+            for &t in &scenario.shield.as_ref().unwrap().stats.turnaround_s {
+                acc += t;
+                n += 1;
+            }
+        }
+        means.push(if n > 0 { acc / n as f64 } else { f64::NAN });
+    }
+    let mut artifact = Artifact::new(
+        "Ablation: turn-around",
+        "Jam-release delay after the adversary stops: software vs hardware profile",
+    );
+    artifact.push_series(Series::new(
+        "mean turn-around seconds (0 = software, 1 = hardware)",
+        vec![(0.0, means[0]), (1.0, means[1])],
+    ));
+    artifact.note(format!(
+        "software {:.0} µs vs hardware {:.0} µs (paper: 270 µs measured;          'tens of microseconds' projected for hardware)",
+        means[0] * 1e6,
+        means[1] * 1e6
+    ));
+    TurnaroundAblation {
+        software_s: means[0],
+        hardware_s: means[1],
+        artifact,
+    }
+}
+
+/// Wearability sweep result.
+#[derive(Debug, Clone)]
+pub struct WearabilityAblation {
+    /// (shield distance m, shield PER, eavesdropper BER at location 1).
+    pub rows: Vec<(f64, f64, f64)>,
+    /// Rendered artifact.
+    pub artifact: Artifact,
+}
+
+/// Sweeps where the shield is worn relative to the implant. The paper's
+/// wearability argument (§3.2) requires the shield well inside half a
+/// wavelength (37.5 cm); this sweep confirms protection is insensitive to
+/// the exact wearing position in that range.
+pub fn wearability(effort: Effort, seed: u64) -> WearabilityAblation {
+    let mut rows = Vec::new();
+    for (i, d) in [0.10, 0.25, 0.35].into_iter().enumerate() {
+        // The layout's shield offset is fixed; emulate other wearing
+        // distances by scaling the contact coupling with free-space delta
+        // (a few dB across this range — the coupling floor dominates).
+        let extra_db = 20.0 * (d / 0.25f64).log10().max(-6.0);
+        let mut cfg = ScenarioConfig::paper(seed.wrapping_add(i as u64 * 97));
+        cfg.shield_body_coupling_db = 21.0 + extra_db;
+        let mut builder = ScenarioBuilder::new(cfg);
+        let eve_ant = builder.add_at_location(1, "eve");
+        let mut scenario = builder.build();
+        let mut eve = Eavesdropper::new(scenario.imd.config().fsk, eve_ant, scenario.channel());
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for _ in 0..effort.packets_per_location {
+            relay_one_exchange(&mut scenario, &mut [&mut eve], Command::Interrogate);
+            for record in scenario.imd.take_tx_log() {
+                let ber = eve.ber_against(record.start_tick, &record.bits);
+                errors += (ber * record.bits.len() as f64).round() as usize;
+                total += record.bits.len();
+            }
+            eve.clear();
+        }
+        let sent = scenario.imd.stats.responses_sent.max(1);
+        let ok = scenario.shield.as_ref().unwrap().stats.imd_frames_ok;
+        rows.push((
+            d,
+            1.0 - ok as f64 / sent as f64,
+            errors as f64 / total.max(1) as f64,
+        ));
+    }
+    let mut artifact = Artifact::new(
+        "Ablation: wearability",
+        "Protection vs shield wearing distance (all well under half a wavelength)",
+    );
+    artifact.push_series(Series::new(
+        "shield PER vs distance (m)",
+        rows.iter().map(|&(d, per, _)| (d, per)).collect(),
+    ));
+    artifact.push_series(Series::new(
+        "eavesdropper BER vs distance (m)",
+        rows.iter().map(|&(d, _, ber)| (d, ber)).collect(),
+    ));
+    artifact.note(
+        "confidentiality and reliability hold across realistic wearing positions —          the basis of the necklace/brooch form factor (§3.2)",
+    );
+    WearabilityAblation { rows, artifact }
+}
+
+/// RF-impairment robustness result.
+#[derive(Debug, Clone)]
+pub struct RobustnessAblation {
+    /// Shield packet loss under clean conditions.
+    pub per_clean: f64,
+    /// Shield packet loss with a 2 kHz IMD oscillator offset and 5%
+    /// impulsive-interference blocks at −95 dBm (10 dB below the IMD's
+    /// received level; uncoded telemetry frames have no FEC, so impulses
+    /// *above* the signal level inevitably cost whole frames — on real
+    /// hardware as much as here).
+    pub per_impaired: f64,
+    /// Eavesdropper BER under the impaired conditions (must stay ~0.5).
+    pub ber_impaired: f64,
+    /// Rendered artifact.
+    pub artifact: Artifact,
+}
+
+/// Stress-tests the shield against RF impairments the paper's analysis
+/// waves at but the hardware certainly experienced: oscillator offset
+/// between the IMD and the shield (§6(a)'s CFO compensation note) and
+/// impulsive interference. Protection must degrade gracefully, not
+/// collapse.
+pub fn robustness(effort: Effort, seed: u64) -> RobustnessAblation {
+    let measure = |impaired: bool, seed: u64| -> (f64, f64) {
+        let mut builder = ScenarioBuilder::new(ScenarioConfig::paper(seed));
+        let eve_ant = builder.add_at_location(1, "eve");
+        let mut scenario = builder.build();
+        if impaired {
+            let imd_ant = scenario.imd.antenna();
+            scenario.medium.set_cfo_hz(imd_ant, 2e3);
+            scenario.medium.set_impulse_noise(0.05, -95.0);
+        }
+        let mut eve = Eavesdropper::new(scenario.imd.config().fsk, eve_ant, scenario.channel());
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for _ in 0..effort.packets_per_location {
+            relay_one_exchange(&mut scenario, &mut [&mut eve], Command::Interrogate);
+            for record in scenario.imd.take_tx_log() {
+                let ber = eve.ber_against(record.start_tick, &record.bits);
+                errors += (ber * record.bits.len() as f64).round() as usize;
+                total += record.bits.len();
+            }
+            eve.clear();
+        }
+        let sent = scenario.imd.stats.responses_sent.max(1);
+        let ok = scenario.shield.as_ref().unwrap().stats.imd_frames_ok;
+        (
+            1.0 - ok as f64 / sent as f64,
+            errors as f64 / total.max(1) as f64,
+        )
+    };
+    let (per_clean, _) = measure(false, seed);
+    let (per_impaired, ber_impaired) = measure(true, seed ^ 0x1CE);
+
+    let mut artifact = Artifact::new(
+        "Ablation: RF impairments",
+        "Shield PER and eavesdropper BER under CFO (2 kHz) + impulsive interference",
+    );
+    artifact.push_series(Series::new(
+        "shield PER (0 = clean, 1 = impaired)",
+        vec![(0.0, per_clean), (1.0, per_impaired)],
+    ));
+    artifact.note(format!(
+        "PER clean {per_clean:.3} -> impaired {per_impaired:.3}; eavesdropper BER stays {ber_impaired:.3}"
+    ));
+    RobustnessAblation {
+        per_clean,
+        per_impaired,
+        ber_impaired,
+        artifact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_jamming_is_weaker_against_matched_filter() {
+        let r = jam_shape(Effort { packets_per_location: 6, ..Effort::tiny() }, 19);
+        assert!(
+            r.ber_shaped > r.ber_flat + 0.05,
+            "shaped {} should beat flat {}",
+            r.ber_shaped,
+            r.ber_flat
+        );
+        assert!((r.ber_shaped - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn hardware_turnaround_is_order_of_magnitude_faster() {
+        let r = turnaround(Effort::tiny(), 41);
+        assert!(
+            r.software_s > 5.0 * r.hardware_s,
+            "software {} vs hardware {}",
+            r.software_s,
+            r.hardware_s
+        );
+    }
+
+    #[test]
+    fn protection_insensitive_to_wearing_distance() {
+        let r = wearability(Effort { packets_per_location: 5, ..Effort::tiny() }, 43);
+        for &(d, per, ber) in &r.rows {
+            assert!(per < 0.4, "PER {per} at {d} m");
+            assert!((ber - 0.5).abs() < 0.12, "BER {ber} at {d} m");
+        }
+    }
+
+    #[test]
+    fn shield_survives_rf_impairments() {
+        let r = robustness(Effort { packets_per_location: 6, ..Effort::tiny() }, 47);
+        assert!(
+            r.per_impaired < 0.5,
+            "impairments must not collapse the relay (PER {})",
+            r.per_impaired
+        );
+        assert!(
+            (r.ber_impaired - 0.5).abs() < 0.1,
+            "confidentiality must hold under impairments (BER {})",
+            r.ber_impaired
+        );
+    }
+
+    #[test]
+    fn low_cancellation_breaks_the_shield() {
+        let r = cancellation_sweep(Effort { packets_per_location: 5, ..Effort::tiny() }, 23);
+        let per_low = r.per_vs_g.first().unwrap().1;
+        let per_high = r.per_vs_g.last().unwrap().1;
+        assert!(
+            per_low > per_high + 0.3,
+            "PER at G=20 ({per_low}) should far exceed PER at G=38 ({per_high})"
+        );
+        assert!(per_high < 0.2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 12: the therapy-modification attack — probability that an
+//! unauthorized command *changes the IMD's treatment parameters*, by
+//! location, shield absent vs present.
+//!
+//! §10.3(a): same setup as Fig. 11 with the more dangerous command. The
+//! paper found "no statistical difference in success rate between commands
+//! that modify the patient's treatment and commands that trigger the IMD
+//! to transmit" — our reproduction exhibits the same, since both ride the
+//! same physical layer.
+
+use crate::report::{Artifact, Series};
+use hb_adversary::active::AttackerConfig;
+
+use super::fig11::{success_probability, AttackGoal};
+use super::Effort;
+
+/// Result of the Fig. 12 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// (location, P[treatment changed]) with the shield absent.
+    pub absent: Vec<(usize, f64)>,
+    /// Same with the shield present.
+    pub present: Vec<(usize, f64)>,
+    /// Rendered artifact.
+    pub artifact: Artifact,
+}
+
+/// Runs locations 1..=14, both arms.
+pub fn run(effort: Effort, seed: u64) -> Fig12Result {
+    let cfg = AttackerConfig::commercial_programmer();
+    let mut absent = Vec::new();
+    let mut present = Vec::new();
+    for loc in 1..=14 {
+        absent.push((
+            loc,
+            success_probability(
+                loc,
+                false,
+                &cfg,
+                AttackGoal::ChangeTherapy,
+                effort.attempts_per_location,
+                seed.wrapping_add(7777),
+            ),
+        ));
+        present.push((
+            loc,
+            success_probability(
+                loc,
+                true,
+                &cfg,
+                AttackGoal::ChangeTherapy,
+                effort.attempts_per_location,
+                seed ^ 0x5A5A,
+            ),
+        ));
+    }
+    let mut artifact = Artifact::new(
+        "Figure 12",
+        "P(IMD changes treatment on unauthorized command) by location — therapy attack at FCC power",
+    );
+    artifact.push_series(Series::new(
+        "shield absent",
+        absent.iter().map(|&(l, p)| (l as f64, p)).collect(),
+    ));
+    artifact.push_series(Series::new(
+        "shield present",
+        present.iter().map(|&(l, p)| (l as f64, p)).collect(),
+    ));
+    let max_present = present.iter().map(|&(_, p)| p).fold(0.0, f64::max);
+    artifact.note(format!(
+        "shield present: max success {max_present:.2} (paper: ~0 everywhere); \
+         success profile mirrors Fig. 11 — same physical layer, different payload"
+    ));
+    Fig12Result {
+        absent,
+        present,
+        artifact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::super::fig11::attack_once;
+
+    #[test]
+    fn therapy_change_blocked_by_shield() {
+        let cfg = AttackerConfig::commercial_programmer();
+        let off = attack_once(2, false, &cfg, AttackGoal::ChangeTherapy, 31);
+        assert!(off.success, "therapy attack must land without the shield");
+        let on = attack_once(2, true, &cfg, AttackGoal::ChangeTherapy, 31);
+        assert!(!on.success, "therapy attack must be jammed with the shield");
+    }
+}

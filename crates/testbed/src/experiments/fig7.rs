@@ -1,0 +1,108 @@
+//! Figure 7: CDF of antenna cancellation.
+//!
+//! Reproduces §10.1(a)'s measurement *through the medium*, exactly as the
+//! paper does it: "the shield transmits a random signal on its jamming
+//! antenna and the corresponding antidote on its receive antenna. In each
+//! run, it transmits 100 Kb without the antidote, followed by 100 Kb with
+//! the antidote. … The difference in received power between the two trials
+//! is the amount of jamming cancellation."
+//!
+//! Paper result: mean ≈ 32 dB, small variance.
+
+use crate::report::{Artifact, Series};
+use crate::scenario::{ScenarioBuilder, ScenarioConfig};
+use hb_dsp::complex::mean_power;
+use hb_dsp::stats::Cdf;
+use hb_dsp::units::db_from_ratio;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::Effort;
+
+/// Result of the Fig. 7 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Per-run cancellation measurements, dB.
+    pub cancellation_db: Cdf,
+    /// Rendered artifact.
+    pub artifact: Artifact,
+}
+
+/// Runs the experiment: `effort.runs` independent trials, each with fresh
+/// couplings and channel estimates.
+pub fn run(effort: Effort, seed: u64) -> Fig7Result {
+    let mut samples = Vec::with_capacity(effort.runs);
+    for run in 0..effort.runs {
+        let mut scenario =
+            ScenarioBuilder::new(ScenarioConfig::paper(seed.wrapping_add(run as u64))).build();
+        let shield = scenario.shield.as_mut().unwrap();
+        let jam_ant = shield.jam_antenna();
+        let rx_ant = shield.rx_antenna();
+        let coeff = shield.full_duplex().antidote_coeff();
+        let mut rng = StdRng::seed_from_u64(seed ^ (run as u64) << 17);
+        let mut jam = hb_shield::jamsignal::JamSignal::shaped_for_fsk(
+            shield.config().fsk,
+            shield.config().fft_size,
+        );
+        jam.set_power_dbm(-33.0);
+
+        // Phase 1: jam without the antidote; measure at the receive chain.
+        let blocks = 600usize;
+        let block_len = scenario.medium.config().block_len;
+        let mut p_without = 0.0;
+        for _ in 0..blocks {
+            let j = jam.next_samples(&mut rng, block_len);
+            scenario.medium.transmit(jam_ant, 0, &j);
+            p_without += mean_power(&scenario.medium.receive(rx_ant, 0));
+            scenario.medium.end_block();
+        }
+        // Phase 2: with the antidote.
+        let mut p_with = 0.0;
+        for _ in 0..blocks {
+            let j = jam.next_samples(&mut rng, block_len);
+            let antidote: Vec<_> = j.iter().map(|&s| s * coeff).collect();
+            scenario.medium.transmit(jam_ant, 0, &j);
+            scenario.medium.transmit(rx_ant, 0, &antidote);
+            p_with += mean_power(&scenario.medium.receive(rx_ant, 0));
+            scenario.medium.end_block();
+        }
+        samples.push(db_from_ratio(p_without / p_with));
+    }
+
+    let cdf = Cdf::from_samples(samples);
+    let mut artifact = Artifact::new(
+        "Figure 7",
+        "Antenna cancellation: jamming-signal reduction at the receive antenna (CDF)",
+    );
+    artifact.push_series(Series::new("cancellation CDF", cdf.points()));
+    artifact.note(format!(
+        "measured mean {:.1} dB (paper: ~32 dB), min {:.1}, max {:.1}",
+        cdf.mean(),
+        cdf.min(),
+        cdf.max()
+    ));
+    artifact.note(
+        "cancellation achieved with antennas 2 cm apart — no half-wavelength separation",
+    );
+    Fig7Result {
+        cancellation_db: cdf,
+        artifact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_cancellation_near_32db() {
+        let r = run(Effort { runs: 25, ..Effort::tiny() }, 42);
+        let mean = r.cancellation_db.mean();
+        assert!(
+            (mean - 32.0).abs() < 3.0,
+            "mean cancellation {mean} dB (paper: 32)"
+        );
+        // Bounded worst case (paper: "the variance of this value is small").
+        assert!(r.cancellation_db.min() > 22.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Figure 8: the core trade-off — eavesdropper BER (a) and shield packet
+//! loss (b) as functions of jamming power relative to the received IMD
+//! power.
+//!
+//! §10.1(b): at +20 dB the eavesdropper's BER reaches ~50% while the
+//! shield's PER stays ≤ 0.2% — establishing the operating point used by
+//! every other experiment.
+
+use crate::report::{Artifact, Series};
+use crate::scenario::{ScenarioBuilder, ScenarioConfig};
+use hb_adversary::eavesdropper::Eavesdropper;
+use hb_imd::commands::Command;
+
+use super::{relay_one_exchange, Effort};
+
+/// Result of the Fig. 8 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// (relative jam power dB, eavesdropper BER).
+    pub ber_curve: Vec<(f64, f64)>,
+    /// (relative jam power dB, shield PER).
+    pub per_curve: Vec<(f64, f64)>,
+    /// Rendered artifact.
+    pub artifact: Artifact,
+}
+
+/// Runs one margin point; returns (eavesdropper BER, shield PER).
+pub fn run_margin_point(
+    margin_db: f64,
+    packets: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut cfg = ScenarioConfig::paper(seed);
+    cfg.jam_margin_db = Some(margin_db);
+    let mut builder = ScenarioBuilder::new(cfg);
+    let eve_ant = builder.add_at_location(1, "eavesdropper");
+    let mut scenario = builder.build();
+    let mut eve = Eavesdropper::new(
+        scenario.imd.config().fsk,
+        eve_ant,
+        scenario.channel(),
+    );
+
+    let mut bit_errors = 0usize;
+    let mut bits_total = 0usize;
+    let mut replies_sent = 0u64;
+    for _ in 0..packets {
+        relay_one_exchange(&mut scenario, &mut [&mut eve], Command::Interrogate);
+        for record in scenario.imd.take_tx_log() {
+            let ber = eve.ber_against(record.start_tick, &record.bits);
+            bit_errors += (ber * record.bits.len() as f64).round() as usize;
+            bits_total += record.bits.len();
+            replies_sent += 1;
+        }
+        eve.clear();
+    }
+    let decoded_at_shield = scenario.shield.as_ref().unwrap().stats.imd_frames_ok;
+    let ber = if bits_total > 0 {
+        bit_errors as f64 / bits_total as f64
+    } else {
+        0.5
+    };
+    let per = if replies_sent > 0 {
+        1.0 - decoded_at_shield as f64 / replies_sent as f64
+    } else {
+        1.0
+    };
+    (ber, per.max(0.0))
+}
+
+/// Runs the full sweep of relative jamming powers (0..=25 dB).
+pub fn run(effort: Effort, seed: u64) -> Fig8Result {
+    let margins = [0.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0];
+    let mut ber_curve = Vec::new();
+    let mut per_curve = Vec::new();
+    for (i, &m) in margins.iter().enumerate() {
+        let (ber, per) =
+            run_margin_point(m, effort.packets_per_location, seed.wrapping_add(i as u64));
+        ber_curve.push((m, ber));
+        per_curve.push((m, per));
+    }
+
+    let mut artifact = Artifact::new(
+        "Figure 8",
+        "Eavesdropper BER (a) and shield PER (b) vs jamming power relative to the IMD's received power",
+    );
+    artifact.push_series(Series::new("(a) BER at the adversary", ber_curve.clone()));
+    artifact.push_series(Series::new("(b) packet loss at the shield", per_curve.clone()));
+    let at20_ber = ber_curve
+        .iter()
+        .find(|(m, _)| (*m - 20.0).abs() < 0.1)
+        .map(|&(_, b)| b)
+        .unwrap_or(f64::NAN);
+    let at20_per = per_curve
+        .iter()
+        .find(|(m, _)| (*m - 20.0).abs() < 0.1)
+        .map(|&(_, p)| p)
+        .unwrap_or(f64::NAN);
+    artifact.note(format!(
+        "at +20 dB: adversary BER {at20_ber:.3} (paper: ~0.5), shield PER {at20_per:.4} (paper: 0.002)"
+    ));
+    Fig8Result {
+        ber_curve,
+        per_curve,
+        artifact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One end-to-end sanity point at the paper's +20 dB operating point.
+    /// (The full sweep runs in the bench / full_evaluation example.)
+    #[test]
+    fn at_20db_adversary_guesses_and_shield_decodes() {
+        let (ber, per) = run_margin_point(20.0, 8, 7);
+        assert!(
+            (ber - 0.5).abs() < 0.08,
+            "eavesdropper BER {ber} should be ~0.5"
+        );
+        assert!(per < 0.2, "shield PER {per} should be small");
+    }
+
+    #[test]
+    fn at_0db_adversary_does_much_better() {
+        // The Fig. 8a shape: BER rises monotonically with jamming power and
+        // saturates at 0.5 by +20 dB. (Our curve starts higher than the
+        // paper's ~0.05 because the shield's body-contact coupling gives
+        // the eavesdropper relatively more jamming at equal margin — see
+        // EXPERIMENTS.md.)
+        let (ber0, _) = run_margin_point(0.0, 6, 11);
+        let (ber20, _) = run_margin_point(20.0, 6, 11);
+        assert!(
+            ber0 < ber20 - 0.1,
+            "BER at 0 dB ({ber0}) must be below BER at 20 dB ({ber20})"
+        );
+        assert!((ber20 - 0.5).abs() < 0.08, "BER at 20 dB ({ber20}) must be ~0.5");
+    }
+}

@@ -1,0 +1,101 @@
+//! One module per table/figure of the paper's evaluation (§10–§11), plus
+//! ablations. Each module exposes a `run(effort, seed) -> Artifact` (some
+//! also return typed data) and renders paper-style output.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig3`]  | Fig. 3 — IMD reply timing; no carrier sense |
+//! | [`fig4`]  | Fig. 4 — FSK power profile of the IMD |
+//! | [`fig5`]  | Fig. 5 — shaped vs constant jamming profile |
+//! | [`fig7`]  | Fig. 7 — antenna-cancellation CDF (~32 dB) |
+//! | [`fig8`]  | Fig. 8 — eavesdropper BER / shield PER vs jam power |
+//! | [`fig9`]  | Fig. 9 — eavesdropper BER CDF over all locations |
+//! | [`fig10`] | Fig. 10 — shield packet-loss CDF (~0.2%) |
+//! | [`fig11`] | Fig. 11 — battery-depletion attack success probability |
+//! | [`fig12`] | Fig. 12 — therapy-change attack success probability |
+//! | [`fig13`] | Fig. 13 — 100×-power adversary + alarm |
+//! | [`table1`]| Table 1 — Pthresh calibration |
+//! | [`table2`]| Table 2 — coexistence & turn-around time |
+//! | [`ablation`] | Design-choice ablations (shaped vs flat jamming, G sweep, turn-around, wearability) |
+//! | [`battery`] | Extension: quantified battery-depletion attack |
+
+pub mod ablation;
+pub mod battery;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+use crate::scenario::Scenario;
+use hb_channel::sim::Node;
+use hb_imd::commands::Command;
+
+/// Experiment sizing: `quick` keeps unit tests and CI fast; `full`
+/// approaches the paper's sample counts.
+#[derive(Debug, Clone, Copy)]
+pub struct Effort {
+    /// IMD packets observed per eavesdropper location (Figs. 8–10).
+    pub packets_per_location: usize,
+    /// Attack attempts per location per arm (Figs. 11–13).
+    pub attempts_per_location: usize,
+    /// Repetitions for calibration-style measurements (Fig. 7, Table 1).
+    pub runs: usize,
+}
+
+impl Effort {
+    /// Small but statistically meaningful (seconds per experiment).
+    pub fn quick() -> Self {
+        Effort {
+            packets_per_location: 12,
+            attempts_per_location: 10,
+            runs: 40,
+        }
+    }
+
+    /// Paper-scale sampling (minutes per experiment).
+    pub fn full() -> Self {
+        Effort {
+            packets_per_location: 100,
+            attempts_per_location: 60,
+            runs: 200,
+        }
+    }
+
+    /// Minimum sizing for unit tests.
+    pub fn tiny() -> Self {
+        Effort {
+            packets_per_location: 3,
+            attempts_per_location: 3,
+            runs: 8,
+        }
+    }
+}
+
+/// Drives one shield-relayed exchange: queues `cmd` on the shield, then
+/// runs until the jam window closes (one command + reply + guard time).
+///
+/// Returns the number of blocks run.
+pub fn relay_one_exchange(
+    scenario: &mut Scenario,
+    extra: &mut [&mut dyn Node],
+    cmd: Command,
+) -> u64 {
+    let shield = scenario
+        .shield
+        .as_mut()
+        .expect("relay_one_exchange needs a shield");
+    shield.queue_command(cmd);
+    // Command (20.5 ms) + T2 (3.7 ms) + reply (≤21 ms) + jam-window tail
+    // and margin: 60 ms covers the full exchange comfortably.
+    let blocks = scenario.medium.blocks_for_duration(0.060);
+    scenario.run_blocks(extra, blocks);
+    blocks
+}

@@ -1,0 +1,22 @@
+//! # hb-testbed — the evaluation harness
+//!
+//! Reconstructs the paper's testbed (Fig. 6) in simulation and reproduces
+//! every table and figure of the evaluation (§10–§11):
+//!
+//! * [`layout`] — the 18 adversary locations, shield and IMD placements.
+//! * [`scenario`] — scenario assembly with the calibrated channel model.
+//! * [`experiments`] — one module per table/figure, plus ablations.
+//! * [`report`] — paper-style rendering and CSV export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crosstraffic;
+pub mod experiments;
+pub mod layout;
+pub mod report;
+pub mod scenario;
+
+pub use experiments::Effort;
+pub use layout::Fig6Layout;
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioConfig};

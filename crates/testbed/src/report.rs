@@ -1,0 +1,168 @@
+//! Experiment result rendering: paper-style text tables, ASCII bar charts,
+//! and CSV export (hand-rolled — no serialization dependency needed).
+
+use std::fmt::Write as _;
+
+/// A labelled series of (x, y) points — one figure line/curve.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: &str, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.to_string(),
+            points,
+        }
+    }
+}
+
+/// A reproduced figure or table: id, caption, series, and free-form notes
+/// comparing against the paper.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Paper identifier, e.g. "Figure 9" or "Table 1".
+    pub id: String,
+    /// Caption.
+    pub caption: String,
+    /// Data series.
+    pub series: Vec<Series>,
+    /// Paper-vs-measured commentary.
+    pub notes: Vec<String>,
+}
+
+impl Artifact {
+    /// Creates an artifact.
+    pub fn new(id: &str, caption: &str) -> Self {
+        Artifact {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// CSV rendering: `series,x,y` rows with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{},{x},{y}", csv_escape(&s.label));
+            }
+        }
+        out
+    }
+
+    /// Human-readable rendering with an ASCII chart per series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} — {} ===", self.id, self.caption);
+        for s in &self.series {
+            let _ = writeln!(out, "\n  [{}]", s.label);
+            out.push_str(&ascii_chart(&s.points, 46));
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "\n  notes:");
+            for n in &self.notes {
+                let _ = writeln!(out, "   - {n}");
+            }
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders an (x, y) series as right-aligned rows with proportional bars.
+pub fn ascii_chart(points: &[(f64, f64)], width: usize) -> String {
+    if points.is_empty() {
+        return "   (no data)\n".to_string();
+    }
+    let ymax = points
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let ymin = points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+    let span = (ymax - ymin).max(1e-12);
+    let mut out = String::new();
+    for &(x, y) in points {
+        let frac = ((y - ymin) / span).clamp(0.0, 1.0);
+        let bar = "#".repeat(1 + (frac * (width - 1) as f64) as usize);
+        let _ = writeln!(out, "   {x:>10.3} | {y:>12.5} {bar}");
+    }
+    out
+}
+
+/// Renders a min/mean/std table row set (Table 1 style).
+pub fn stat_table(title: &str, rows: &[(&str, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (name, value) in rows {
+        let _ = writeln!(out, "  {name:<28} {value:>10.2}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let mut a = Artifact::new("Figure X", "test");
+        a.push_series(Series::new("line,one", vec![(1.0, 2.0), (3.0, 4.0)]));
+        let csv = a.to_csv();
+        assert!(csv.starts_with("series,x,y\n"));
+        assert!(csv.contains("\"line,one\",1,2"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn render_contains_id_and_notes() {
+        let mut a = Artifact::new("Table 9", "caption here");
+        a.push_series(Series::new("s", vec![(0.0, 1.0)]));
+        a.note("matches the paper");
+        let r = a.render();
+        assert!(r.contains("Table 9"));
+        assert!(r.contains("caption here"));
+        assert!(r.contains("matches the paper"));
+    }
+
+    #[test]
+    fn chart_handles_flat_and_empty() {
+        assert!(ascii_chart(&[], 20).contains("no data"));
+        let flat = ascii_chart(&[(0.0, 5.0), (1.0, 5.0)], 20);
+        assert_eq!(flat.lines().count(), 2);
+    }
+
+    #[test]
+    fn stat_table_formats() {
+        let t = stat_table("Pthresh", &[("Minimum", -11.1), ("Average", -4.5)]);
+        assert!(t.contains("Pthresh"));
+        assert!(t.contains("Minimum"));
+        assert!(t.contains("-11.10"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Scenario assembly: wires the IMD, shield, and attacker/eavesdropper
+//! devices into a medium with the calibrated channel model, and provides
+//! the two-phase run loop.
+//!
+//! Every experiment builds one or more scenarios through
+//! [`ScenarioBuilder`]; rebuilding per repetition (with a fresh seed)
+//! redraws shadowing and coupling phases, which is what makes marginal
+//! locations produce fractional success probabilities, as in the paper's
+//! Figs. 11–13.
+
+use crate::layout::Fig6Layout;
+use hb_channel::fading::Fading;
+use hb_channel::geometry::Placement;
+use hb_channel::medium::{AntennaId, Medium, MediumConfig};
+use hb_channel::pathloss::PathlossModel;
+use hb_channel::sim::Node;
+use hb_imd::device::ImdDevice;
+use hb_imd::models::ImdConfig;
+use hb_shield::shield::{Shield, ShieldConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which IMD model the scenario protects (the paper evaluates both and
+/// pools the results).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImdModel {
+    /// Medtronic Virtuoso DR ICD.
+    VirtuosoIcd,
+    /// Medtronic Concerto CRT.
+    ConcertoCrt,
+}
+
+impl ImdModel {
+    /// The device configuration for this model.
+    pub fn config(&self, channel: usize) -> ImdConfig {
+        match self {
+            ImdModel::VirtuosoIcd => ImdConfig::virtuoso_icd(channel),
+            ImdModel::ConcertoCrt => ImdConfig::concerto_crt(channel),
+        }
+    }
+}
+
+/// Scenario-level configuration (the calibrated constants of DESIGN.md).
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+    /// Session channel.
+    pub channel: usize,
+    /// Which IMD is implanted.
+    pub imd_model: ImdModel,
+    /// Whether the shield is worn.
+    pub shield_enabled: bool,
+    /// Pathloss model.
+    pub pathloss: PathlossModel,
+    /// Small-scale fading statistics for over-the-air links.
+    pub fading: Fading,
+    /// IMD receiver noise floor, dBm. Implant receivers are
+    /// noise-figure-limited (~16 dB NF): −103 dBm over a 300 kHz channel.
+    /// This sets the shield-absent attack range (~14 m at FCC power).
+    pub imd_noise_floor_dbm: f64,
+    /// Overrides applied to the shield configuration, if any.
+    pub shield_tweak: Option<fn(&mut ShieldConfig)>,
+    /// Jamming margin override (Fig. 8 sweeps this).
+    pub jam_margin_db: Option<f64>,
+    /// Air-side coupling between the shield's (body-contact) antennas and
+    /// the implant, dB. A worn antenna pressed against the chest couples
+    /// into tissue ~6 dB better than the 27 dB far-field floor any
+    /// stand-off adversary is limited to — this contact advantage is what
+    /// lets an FCC-power shield out-jam an FCC-power adversary at the IMD
+    /// (Fig. 11/12) while the 100× adversary still wins up close (Fig. 13).
+    pub shield_body_coupling_db: f64,
+}
+
+impl ScenarioConfig {
+    /// Paper-faithful defaults.
+    pub fn paper(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            channel: 0,
+            imd_model: ImdModel::VirtuosoIcd,
+            shield_enabled: true,
+            pathloss: PathlossModel::mics_indoor(),
+            fading: Fading::None,
+            imd_noise_floor_dbm: -103.0,
+            shield_tweak: None,
+            jam_margin_db: None,
+            shield_body_coupling_db: 21.0,
+        }
+    }
+
+    /// Same, without the shield (the "Shield Absent" bars).
+    pub fn paper_no_shield(seed: u64) -> Self {
+        ScenarioConfig {
+            shield_enabled: false,
+            ..Self::paper(seed)
+        }
+    }
+}
+
+/// A built scenario: medium + IMD + optional shield, with helpers to add
+/// adversary antennas and drive the loop.
+pub struct Scenario {
+    /// The shared medium.
+    pub medium: Medium,
+    /// The protected device.
+    pub imd: ImdDevice,
+    /// The shield, when worn.
+    pub shield: Option<Shield>,
+    /// The layout used.
+    pub layout: Fig6Layout,
+}
+
+/// Builder that must know all antennas before link gains are drawn.
+pub struct ScenarioBuilder {
+    cfg: ScenarioConfig,
+    medium: Medium,
+    layout: Fig6Layout,
+    imd_ant: AntennaId,
+    shield: Option<Shield>,
+    rng: StdRng,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario: places the IMD at the origin (in body) and the
+    /// shield (if enabled) at the necklace offset.
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let layout = Fig6Layout::paper();
+        let mut medium = Medium::new(MediumConfig::default(), rng.gen());
+        let imd_ant = medium.add_antenna(Placement::los("imd", 0.0, 0.0).implanted());
+
+        let shield = if cfg.shield_enabled {
+            let mut scfg = ShieldConfig::paper_defaults(
+                cfg.imd_model.config(cfg.channel).serial,
+                cfg.channel,
+            );
+            if let Some(margin) = cfg.jam_margin_db {
+                scfg.jam_margin_db = margin;
+            }
+            if let Some(tweak) = cfg.shield_tweak {
+                tweak(&mut scfg);
+            }
+            let shield = Shield::install(
+                scfg,
+                &mut medium,
+                (layout.shield_offset_m, 0.0),
+                rng.gen(),
+            );
+            // Body-contact coupling: explicit shield↔IMD links (body loss
+            // plus the contact coupling), reciprocal, with random phases.
+            let loss_db = cfg.pathloss.body_loss_db + cfg.shield_body_coupling_db;
+            let amp = hb_dsp::units::ratio_from_db(-loss_db).sqrt();
+            for ant in [shield.jam_antenna(), shield.rx_antenna()] {
+                let g = hb_dsp::complex::C64::from_polar(
+                    amp,
+                    rng.gen::<f64>() * std::f64::consts::TAU,
+                );
+                medium.set_gain(ant, imd_ant, g);
+                medium.set_gain(imd_ant, ant, g);
+            }
+            Some(shield)
+        } else {
+            None
+        };
+
+        ScenarioBuilder {
+            cfg,
+            medium,
+            layout,
+            imd_ant,
+            shield,
+            rng,
+        }
+    }
+
+    /// Adds an antenna at a numbered Fig. 6 location.
+    pub fn add_at_location(&mut self, index: usize, label: &str) -> AntennaId {
+        let placement = self.layout.location(index).placement(label);
+        self.medium.add_antenna(placement)
+    }
+
+    /// Adds an antenna at an arbitrary placement.
+    pub fn add_at(&mut self, placement: Placement) -> AntennaId {
+        self.medium.add_antenna(placement)
+    }
+
+    /// Finalizes: draws all link gains and constructs the devices.
+    pub fn build(mut self) -> Scenario {
+        self.medium
+            .build_links(&self.cfg.pathloss, self.cfg.fading);
+        self.medium
+            .set_noise_floor_dbm(self.imd_ant, self.cfg.imd_noise_floor_dbm);
+        let imd = ImdDevice::new(
+            self.cfg.imd_model.config(self.cfg.channel),
+            self.imd_ant,
+            StdRng::seed_from_u64(self.rng.gen()),
+        );
+        Scenario {
+            medium: self.medium,
+            imd,
+            shield: self.shield,
+            layout: self.layout,
+        }
+    }
+}
+
+impl Scenario {
+    /// Runs `blocks` simulation blocks, polling the IMD, the shield, and
+    /// any extra nodes in the standard two-phase order.
+    pub fn run_blocks(&mut self, extra: &mut [&mut dyn Node], blocks: u64) {
+        for _ in 0..blocks {
+            self.imd.produce(&mut self.medium);
+            if let Some(shield) = self.shield.as_mut() {
+                shield.produce(&mut self.medium);
+            }
+            for n in extra.iter_mut() {
+                n.produce(&mut self.medium);
+            }
+            self.imd.consume(&mut self.medium);
+            if let Some(shield) = self.shield.as_mut() {
+                shield.consume(&mut self.medium);
+            }
+            for n in extra.iter_mut() {
+                n.consume(&mut self.medium);
+            }
+            self.medium.end_block();
+        }
+    }
+
+    /// Runs for at least `seconds` of simulated time.
+    pub fn run_seconds(&mut self, extra: &mut [&mut dyn Node], seconds: f64) {
+        let blocks = self.medium.blocks_for_duration(seconds);
+        self.run_blocks(extra, blocks);
+    }
+
+    /// Convenience: the session channel.
+    pub fn channel(&self) -> usize {
+        self.imd.config().channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_dsp::units::db_from_ratio;
+
+    #[test]
+    fn builds_with_and_without_shield() {
+        let s = ScenarioBuilder::new(ScenarioConfig::paper(1)).build();
+        assert!(s.shield.is_some());
+        assert_eq!(s.medium.antenna_count(), 3); // imd + 2 shield antennas
+        let s2 = ScenarioBuilder::new(ScenarioConfig::paper_no_shield(1)).build();
+        assert!(s2.shield.is_none());
+        assert_eq!(s2.medium.antenna_count(), 1);
+    }
+
+    #[test]
+    fn imd_to_shield_level_matches_calibration() {
+        // Expected: −24 dBm tx − 40 dB body − 21 dB contact coupling = −85.
+        let s = ScenarioBuilder::new(ScenarioConfig::paper(7)).build();
+        let shield = s.shield.as_ref().unwrap();
+        let g = s.medium.gain(s.imd.antenna(), shield.rx_antenna());
+        let link_db = db_from_ratio(g.norm_sq());
+        let rx_dbm = s.imd.config().tx_power_dbm + link_db;
+        assert!(
+            (rx_dbm - (-85.0)).abs() < 1.0,
+            "IMD at shield: {rx_dbm} dBm"
+        );
+    }
+
+    #[test]
+    fn shield_couplings_survive_build() {
+        let s = ScenarioBuilder::new(ScenarioConfig::paper(3)).build();
+        let shield = s.shield.as_ref().unwrap();
+        // Self-loop ≈ −3 dB; jam→rx ≈ −30 dB (not overwritten by
+        // build_links).
+        let hself = s
+            .medium
+            .gain(shield.rx_antenna(), shield.rx_antenna());
+        let hjr = s.medium.gain(shield.jam_antenna(), shield.rx_antenna());
+        assert!((db_from_ratio(hself.norm_sq()) - (-3.0)).abs() < 0.5);
+        assert!((db_from_ratio(hjr.norm_sq()) - (-30.0)).abs() < 0.5);
+    }
+
+    #[test]
+    fn adversary_location_levels_are_ordered() {
+        let cfg = ScenarioConfig::paper(11);
+        let mut b = ScenarioBuilder::new(cfg);
+        let a1 = b.add_at_location(1, "adv1");
+        let a9 = b.add_at_location(9, "adv9");
+        let a18 = b.add_at_location(18, "adv18");
+        let s = b.build();
+        let to_imd = |a: AntennaId| db_from_ratio(s.medium.gain(a, s.imd.antenna()).norm_sq());
+        assert!(to_imd(a1) > to_imd(a9));
+        assert!(to_imd(a9) > to_imd(a18));
+    }
+
+    #[test]
+    fn seeds_give_different_shadowing() {
+        let mut losses = Vec::new();
+        for seed in 0..6 {
+            let mut b = ScenarioBuilder::new(ScenarioConfig::paper(seed));
+            let a = b.add_at_location(8, "adv");
+            let s = b.build();
+            losses.push(db_from_ratio(
+                s.medium.gain(a, s.imd.antenna()).norm_sq(),
+            ));
+        }
+        let min = losses.iter().cloned().fold(f64::MAX, f64::min);
+        let max = losses.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 0.5, "shadowing should vary across seeds: {losses:?}");
+    }
+
+    #[test]
+    fn run_loop_advances_time() {
+        let mut s = ScenarioBuilder::new(ScenarioConfig::paper(2)).build();
+        s.run_seconds(&mut [], 0.01);
+        assert!(s.medium.time_s() >= 0.01);
+    }
+}

@@ -1,0 +1,93 @@
+//! The active-adversary scenarios of §10.3: forged/replayed commands at
+//! FCC power and at 100× power, with and without the shield, plus the
+//! frequency-hopping evasion attempt of §7(c).
+//!
+//! Run with: `cargo run --release --example active_attack`
+
+use heartbeats::adversary::active::{ActiveAttacker, AttackerConfig};
+use heartbeats::channel::sim::Node;
+use heartbeats::imd::commands::Command;
+use heartbeats::imd::therapy::TherapyParams;
+use heartbeats::testbed::scenario::{ScenarioBuilder, ScenarioConfig};
+
+fn attack(
+    label: &str,
+    location: usize,
+    shield_on: bool,
+    attacker_cfg: AttackerConfig,
+    seed: u64,
+) {
+    let cfg = if shield_on {
+        ScenarioConfig::paper(seed)
+    } else {
+        ScenarioConfig::paper_no_shield(seed)
+    };
+    let mut builder = ScenarioBuilder::new(cfg);
+    let atk_ant = builder.add_at_location(location, "attacker");
+    let mut scenario = builder.build();
+    let mut attacker = ActiveAttacker::new(attacker_cfg, atk_ant);
+
+    // Try to slow the patient's pacing to a dangerous-but-valid setting.
+    let mut params = TherapyParams::nominal();
+    params.rate_ppm = 150;
+    let serial = scenario.imd.config().serial;
+    let channel = scenario.channel();
+    attacker.send_forged_command(64, channel, serial, Command::SetTherapy(params));
+    scenario.run_seconds(&mut [&mut attacker as &mut dyn Node], 0.09);
+
+    let changed = scenario.imd.stats.therapy_changes > 0;
+    let (alarm, jammed) = scenario
+        .shield
+        .as_ref()
+        .map(|s| (s.stats.alarms > 0, s.stats.active_jam_events > 0))
+        .unwrap_or((false, false));
+    println!(
+        "{label:<46} therapy changed: {}{}{}",
+        if changed { "YES" } else { "no " },
+        if jammed { "  [shield jammed it]" } else { "" },
+        if alarm { "  [ALARM raised]" } else { "" },
+    );
+}
+
+fn hopping_attack(seed: u64) {
+    let mut builder = ScenarioBuilder::new(ScenarioConfig::paper(seed));
+    let atk_ant = builder.add_at_location(1, "hopper");
+    let mut scenario = builder.build();
+    let mut attacker = ActiveAttacker::new(AttackerConfig::commercial_programmer(), atk_ant);
+
+    // Send the same forged command across several MICS channels in
+    // sequence; the shield's wideband monitor must catch every one (§7(c)).
+    let serial = scenario.imd.config().serial;
+    attacker.send_hopping(64, &[0, 3, 7, 9], 3000, serial, Command::Interrogate);
+    scenario.run_seconds(&mut [&mut attacker as &mut dyn Node], 0.15);
+
+    let shield = scenario.shield.as_ref().unwrap();
+    println!(
+        "frequency-hopping attack over channels 0,3,7,9:  detections {}, jam engagements {}, \
+         IMD replies {}",
+        shield.stats.sid_detections,
+        shield.stats.active_jam_events,
+        scenario.imd.stats.responses_sent,
+    );
+}
+
+fn main() {
+    println!("== active attacks against the IMD ==\n");
+    println!("-- commercial programmer power (FCC limit), therapy modification --");
+    attack("20 cm, shield absent:", 1, false, AttackerConfig::commercial_programmer(), 1);
+    attack("20 cm, shield present:", 1, true, AttackerConfig::commercial_programmer(), 2);
+    attack("14 m LOS (location 8), shield absent:", 8, false, AttackerConfig::commercial_programmer(), 3);
+    attack("30 m NLOS (location 18), shield absent:", 18, false, AttackerConfig::commercial_programmer(), 4);
+
+    println!("\n-- custom hardware at 100x power --");
+    attack("20 cm, shield absent:", 1, false, AttackerConfig::high_power_custom(), 5);
+    attack("20 cm, shield present:", 1, true, AttackerConfig::high_power_custom(), 6);
+    attack("13 m LOS (location 7), shield present:", 7, true, AttackerConfig::high_power_custom(), 7);
+    attack("27 m LOS (location 13), shield absent:", 13, false, AttackerConfig::high_power_custom(), 8);
+
+    println!("\n-- evasion: frequency hopping across the MICS band --");
+    hopping_attack(9);
+
+    println!("\nSummary: the shield blocks FCC-power attacks everywhere; 100x attacks");
+    println!("succeed only up close — and always with the patient alarm ringing.");
+}

@@ -1,0 +1,84 @@
+//! Quickstart: protect an implanted cardiac device with a shield and talk
+//! to it through the encrypted relay — the architecture of Fig. 1.
+//!
+//! ```text
+//! programmer ──(ChaCha20-Poly1305)── shield ──(MICS radio + jamming)── IMD
+//! ```
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use heartbeats::crypto::session::SecureSession;
+use heartbeats::imd::commands::{Command, Response};
+use heartbeats::testbed::scenario::{ScenarioBuilder, ScenarioConfig};
+
+fn main() {
+    println!("== heartbeats quickstart ==\n");
+
+    // The paper's testbed: a Virtuoso ICD implanted at the origin with a
+    // shield worn 25 cm away (two antennas, 2 cm apart).
+    let mut scenario = ScenarioBuilder::new(ScenarioConfig::paper(2026)).build();
+    println!(
+        "installed shield: couplings |Hjam→rec/Hself| = {:.1} dB, initial cancellation {:.1} dB",
+        scenario
+            .shield
+            .as_ref()
+            .unwrap()
+            .config()
+            .coupling
+            .coupling_ratio_db(),
+        scenario
+            .shield
+            .as_ref()
+            .unwrap()
+            .full_duplex()
+            .cancellation_db()
+    );
+
+    // The programmer side of the encrypted channel (pre-shared key).
+    let key = scenario.shield.as_ref().unwrap().config().session_key;
+    let mut programmer = SecureSession::programmer_side(key);
+
+    // The clinician asks for the patient's status and therapy settings.
+    for (label, cmd) in [
+        ("interrogate", Command::Interrogate),
+        ("read therapy", Command::ReadTherapy),
+        ("read patient record chunk 0", Command::ReadPatient { chunk: 0 }),
+        ("read stored ECG chunk 11", Command::ReadEcg { chunk: 11 }),
+    ] {
+        // Seal the command for the shield…
+        let sealed = programmer.seal_frame(&cmd.to_payload());
+        scenario
+            .shield
+            .as_mut()
+            .unwrap()
+            .relay_sealed_command(&sealed)
+            .expect("authenticated command accepted");
+
+        // …let the radio exchange happen (the shield jams the IMD's reply
+        // on the air while decoding it via its antidote)…
+        let _ = cmd;
+        scenario.run_seconds(&mut [], 0.060);
+
+        // …then open the sealed responses on the programmer side.
+        for frame in scenario.shield.as_mut().unwrap().take_sealed_responses() {
+            let plain = programmer.open_frame(&frame).expect("authentic response");
+            let response = Response::from_payload(&plain).expect("parseable");
+            println!("{label:>28} -> {response:?}");
+        }
+    }
+
+    let shield = scenario.shield.as_ref().unwrap();
+    println!(
+        "\nshield relayed {} commands; decoded {} IMD replies while jamming them \
+         ({} CRC failures), raised {} alarms",
+        shield.stats.commands_sent,
+        shield.stats.imd_frames_ok,
+        shield.stats.imd_frames_crc_fail,
+        shield.stats.alarms,
+    );
+    println!(
+        "IMD battery after session: {}%",
+        scenario.imd.battery().remaining_pct()
+    );
+    println!("\nEverything above crossed the air jammed: an eavesdropper sees ~50% BER.");
+}

@@ -1,0 +1,46 @@
+//! The §5 wideband extension: when the coupling between the shield's two
+//! antennas is frequency-selective (multipath), a single antidote
+//! coefficient cannot cancel the jamming — but computing the antidote
+//! per OFDM subcarrier restores full-depth cancellation, exactly as the
+//! paper sketches ("treats each of the subcarriers as if it was an
+//! independent narrowband channel").
+//!
+//! Run with: `cargo run --release --example wideband`
+
+use heartbeats::channel::fading::MultipathChannel;
+use heartbeats::dsp::units::amplitude_from_db;
+use heartbeats::dsp::C64;
+use heartbeats::shield::wideband::WidebandFullDuplex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== wideband (multipath) antidote cancellation ==\n");
+    let mut rng = StdRng::seed_from_u64(7);
+
+    for taps in [1usize, 2, 4, 8] {
+        // A multipath coupling with `taps` paths at −30 dB total power.
+        let mut ch = if taps == 1 {
+            MultipathChannel::flat(C64::from_polar(1.0, 0.3))
+        } else {
+            MultipathChannel::random_exponential(taps, 0.5, &mut rng)
+        };
+        for t in ch.taps.iter_mut() {
+            *t = t.scale(amplitude_from_db(-30.0));
+        }
+        let h_self = C64::from_polar(amplitude_from_db(-3.0), 1.0);
+        let mut fd = WidebandFullDuplex::new(ch, h_self, 64, 16);
+        fd.estimate(32.0, &mut rng);
+
+        let narrow = fd.measure_narrowband_cancellation(60, &mut rng);
+        let wide = fd.measure_cancellation(60, &mut rng);
+        println!(
+            "{taps}-tap coupling:  single-coefficient antidote {narrow:>6.1} dB   \
+             per-subcarrier antidote {wide:>6.1} dB"
+        );
+    }
+
+    println!("\nWith one tap (flat channel) both methods agree; as multipath grows,");
+    println!("only the per-subcarrier antidote keeps the receive antenna clean —");
+    println!("the OFDM generalization the paper's §5 and footnote 2 describe.");
+}

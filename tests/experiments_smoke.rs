@@ -1,0 +1,57 @@
+//! Smoke tests: every experiment module runs end to end at tiny effort
+//! and reproduces its headline property. This pins the `full_evaluation`
+//! pipeline — if any experiment silently breaks, these fail first.
+
+use heartbeats::testbed::experiments::{self, Effort};
+
+const SEED: u64 = 424242;
+
+#[test]
+fn fig3_smoke() {
+    let r = experiments::fig3::run(Effort::tiny(), SEED);
+    assert!(!r.latency_quiet_s.is_empty() && !r.latency_busy_s.is_empty());
+}
+
+#[test]
+fn fig4_smoke() {
+    let r = experiments::fig4::run(Effort::tiny(), SEED);
+    assert!(r.tone_energy_fraction > 0.8);
+}
+
+#[test]
+fn fig5_smoke() {
+    let r = experiments::fig5::run(Effort::tiny(), SEED);
+    assert!(r.tone_band_advantage_db > 2.0);
+}
+
+#[test]
+fn fig7_smoke() {
+    let r = experiments::fig7::run(Effort::tiny(), SEED);
+    assert!((r.cancellation_db.mean() - 32.0).abs() < 5.0);
+}
+
+#[test]
+fn fig9_smoke() {
+    let ber = experiments::fig9::ber_at_location(5, 3, SEED);
+    assert!((ber - 0.5).abs() < 0.1, "BER {ber}");
+}
+
+#[test]
+fn fig10_smoke() {
+    let (sent, decoded) = experiments::fig10::one_run(5, SEED);
+    assert_eq!(sent, 5);
+    assert!(decoded >= 4);
+}
+
+#[test]
+fn table2_smoke() {
+    let r = experiments::table2::run(Effort::tiny(), SEED);
+    assert_eq!(r.cross_jammed, 0);
+    assert_eq!(r.imd_jammed, r.imd_sent);
+}
+
+#[test]
+fn battery_smoke() {
+    let r = experiments::battery::run(Effort::tiny(), SEED);
+    assert!(r.replies_per_s_absent > r.replies_per_s_present);
+}

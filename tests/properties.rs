@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) over the workspace's core invariants.
+
+use heartbeats::crypto::session::SecureSession;
+use heartbeats::dsp::complex::{mean_power, C64};
+use heartbeats::dsp::fft::{fft, ifft, next_pow2};
+use heartbeats::imd::therapy::TherapyParams;
+use heartbeats::phy::bits::{bit_errors, bits_to_bytes, bytes_to_bits};
+use heartbeats::phy::crc::{append_crc16, verify_crc16};
+use heartbeats::phy::fsk::{FskModem, FskParams};
+use heartbeats::phy::matcher::SidMatcher;
+use heartbeats::phy::packet::{Frame, FrameType, Serial, MAX_PAYLOAD};
+use proptest::prelude::*;
+
+proptest! {
+    /// FFT round-trips arbitrary signals (pow2 lengths).
+    #[test]
+    fn fft_roundtrip(values in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..200)) {
+        let n = next_pow2(values.len());
+        let mut sig: Vec<C64> = values.iter().map(|&(re, im)| C64::new(re, im)).collect();
+        sig.resize(n, C64::ZERO);
+        let back = ifft(&fft(&sig));
+        for (a, b) in sig.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    /// Parseval: energy is preserved (up to the 1/N convention).
+    #[test]
+    fn fft_parseval(values in prop::collection::vec((-1e2f64..1e2, -1e2f64..1e2), 2..128)) {
+        let n = next_pow2(values.len());
+        let mut sig: Vec<C64> = values.iter().map(|&(re, im)| C64::new(re, im)).collect();
+        sig.resize(n, C64::ZERO);
+        let spec = fft(&sig);
+        let te: f64 = sig.iter().map(|s| s.norm_sq()).sum();
+        let fe: f64 = spec.iter().map(|s| s.norm_sq()).sum::<f64>() / n as f64;
+        prop_assert!((te - fe).abs() <= 1e-6 * te.max(1.0));
+    }
+
+    /// Bit/byte packing round-trips.
+    #[test]
+    fn bits_bytes_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+    }
+
+    /// CRC-16 detects every 1- and 2-bit corruption.
+    #[test]
+    fn crc_detects_small_corruption(
+        data in prop::collection::vec(any::<u8>(), 1..64),
+        flip1 in 0usize..512,
+        flip2 in 0usize..512,
+    ) {
+        let mut framed = data;
+        append_crc16(&mut framed);
+        prop_assert!(verify_crc16(&framed));
+        let nbits = framed.len() * 8;
+        let (a, b) = (flip1 % nbits, flip2 % nbits);
+        let mut corrupted = framed.clone();
+        corrupted[a / 8] ^= 1 << (a % 8);
+        if b != a {
+            corrupted[b / 8] ^= 1 << (b % 8);
+        }
+        prop_assert!(!verify_crc16(&corrupted));
+    }
+
+    /// Frames round-trip through bytes and through the FSK modem.
+    #[test]
+    fn frame_roundtrip_any_payload(
+        serial in prop::array::uniform10(any::<u8>()),
+        ftype in 1u8..4,
+        seq in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD),
+    ) {
+        let f = Frame::new(Serial(serial), FrameType::from_byte(ftype), seq, payload);
+        prop_assert_eq!(&Frame::from_bytes(&f.to_bytes()).unwrap(), &f);
+        let modem = FskModem::new(FskParams::mics_default());
+        let rx = modem.receive_frame(&modem.modulate(&f.to_bits())).unwrap();
+        prop_assert_eq!(rx, f);
+    }
+
+    /// FSK modulation is always constant-envelope (transmitter-safe).
+    #[test]
+    fn fsk_constant_envelope(bits in prop::collection::vec(0u8..2, 1..64)) {
+        let modem = FskModem::new(FskParams::mics_default());
+        let sig = modem.modulate(&bits);
+        for s in &sig {
+            prop_assert!((s.abs() - 1.0).abs() < 1e-9);
+        }
+        prop_assert!((mean_power(&sig) - 1.0).abs() < 1e-9);
+    }
+
+    /// The Sid matcher fires exactly when Hamming distance <= bthresh.
+    #[test]
+    fn sid_matcher_matches_hamming(
+        pattern in prop::collection::vec(0u8..2, 8..64),
+        flips in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+        bthresh in 0usize..6,
+    ) {
+        let mut received = pattern.clone();
+        for f in &flips {
+            let i = f.index(received.len());
+            received[i] ^= 1;
+        }
+        let distance = bit_errors(&pattern, &received);
+        let mut m = SidMatcher::new(pattern, bthresh);
+        let mut fired = false;
+        for &b in &received {
+            fired |= m.push(b);
+        }
+        prop_assert_eq!(fired, distance <= bthresh);
+    }
+
+    /// The secure session round-trips any payload and rejects any replay.
+    #[test]
+    fn session_roundtrip_and_replay(payloads in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..64), 1..8)
+    ) {
+        let key = [7u8; 32];
+        let mut shield = SecureSession::shield_side(key);
+        let mut prog = SecureSession::programmer_side(key);
+        let mut frames = Vec::new();
+        for p in &payloads {
+            let f = prog.seal_frame(p);
+            prop_assert_eq!(&shield.open_frame(&f).unwrap(), p);
+            frames.push(f);
+        }
+        for f in &frames {
+            prop_assert!(shield.open_frame(f).is_err());
+        }
+    }
+
+    /// Therapy parameters round-trip and validation is stable.
+    #[test]
+    fn therapy_roundtrip(
+        mode in 0u8..4,
+        rate in any::<u8>(),
+        amp in any::<u8>(),
+        width in any::<u8>(),
+        shock in any::<u8>(),
+    ) {
+        let bytes = [mode, rate, amp, width, shock];
+        if let Some(p) = TherapyParams::from_bytes(&bytes) {
+            prop_assert_eq!(p.to_bytes(), bytes);
+            // validate() must never panic, only judge.
+            let _ = p.validate();
+        }
+    }
+}
