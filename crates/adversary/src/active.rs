@@ -257,7 +257,12 @@ mod tests {
         // A "captured" programmer transmission with noise on it.
         let modem = FskModem::new(FskParams::mics_default());
         let serial = Serial::from_str_padded("CONCERTO02");
-        let frame = Frame::new(serial, FrameType::Command, 7, Command::ReadTherapy.to_payload());
+        let frame = Frame::new(
+            serial,
+            FrameType::Command,
+            7,
+            Command::ReadTherapy.to_payload(),
+        );
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(2);

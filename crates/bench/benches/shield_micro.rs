@@ -15,7 +15,9 @@ fn bench_antidote(c: &mut Criterion) {
     let (hs, hjr) = CouplingConfig::usrp2_prototype().draw_gains(&mut rng);
     let mut fd = FullDuplex::new(hs, hjr);
     fd.estimate(32.0, &mut rng);
-    let j: Vec<hb_dsp::C64> = (0..4096).map(|k| hb_dsp::C64::cis(k as f64 * 0.3)).collect();
+    let j: Vec<hb_dsp::C64> = (0..4096)
+        .map(|k| hb_dsp::C64::cis(k as f64 * 0.3))
+        .collect();
     c.bench_function("antidote_4k", |b| b.iter(|| black_box(fd.antidote(&j))));
 }
 

@@ -180,8 +180,11 @@ impl Medium {
                 if self.gains.contains_key(&(a, b)) || self.gains.contains_key(&(b, a)) {
                     continue;
                 }
-                let loss_db =
-                    model.link_loss_db_shadowed(&self.placements[a], &self.placements[b], &mut self.rng);
+                let loss_db = model.link_loss_db_shadowed(
+                    &self.placements[a],
+                    &self.placements[b],
+                    &mut self.rng,
+                );
                 let amplitude = ratio_from_db(-loss_db).sqrt();
                 let gain = fading.draw(&mut self.rng).scale(amplitude);
                 self.gains.insert((a, b), gain);
@@ -234,7 +237,10 @@ impl Medium {
             !self.receiving,
             "transmit after receive in the same block: stage all transmissions first"
         );
-        assert!(channel < self.cfg.n_channels, "channel {channel} out of range");
+        assert!(
+            channel < self.cfg.n_channels,
+            "channel {channel} out of range"
+        );
         assert!(
             samples.len() <= self.cfg.block_len,
             "burst of {} exceeds block length {}",
@@ -256,7 +262,10 @@ impl Medium {
     /// Idempotent within a block (the same noise is returned on repeat
     /// calls). Freezes staging for the rest of the block.
     pub fn receive(&mut self, rx: AntennaId, channel: usize) -> Vec<C64> {
-        assert!(channel < self.cfg.n_channels, "channel {channel} out of range");
+        assert!(
+            channel < self.cfg.n_channels,
+            "channel {channel} out of range"
+        );
         assert!(rx < self.placements.len(), "unknown antenna {rx}");
         self.receiving = true;
         if let Some(cached) = self.rx_cache.get(&(rx, channel)) {
@@ -268,9 +277,9 @@ impl Medium {
         // the rng stream deterministically.
         if let Some((prob, power)) = self.impulse {
             if self.rng.gen::<f64>() < prob {
-                for (v, n) in buf
-                    .iter_mut()
-                    .zip(white_noise(&mut self.rng, self.cfg.block_len, power))
+                for (v, n) in
+                    buf.iter_mut()
+                        .zip(white_noise(&mut self.rng, self.cfg.block_len, power))
                 {
                     *v += n;
                 }

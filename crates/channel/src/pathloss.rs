@@ -212,7 +212,10 @@ mod tests {
             .collect();
         let mean = draws.iter().sum::<f64>() / n as f64;
         let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        assert!((mean - median).abs() < 0.1, "mean {mean} vs median {median}");
+        assert!(
+            (mean - median).abs() < 0.1,
+            "mean {mean} vs median {median}"
+        );
         assert!((var.sqrt() - 2.0).abs() < 0.1, "sigma {}", var.sqrt());
     }
 

@@ -258,8 +258,11 @@ mod tests {
         for _ in 0..50 {
             // Comparable attenuation from both antennas to location l
             // (|ratio| ≈ 1, random phases).
-            let h_jam_l = C64::from_polar(1e-3, rng.gen::<f64>() * 6.28);
-            let h_rec_l = C64::from_polar(1e-3 * rng.gen_range(0.8..1.2), rng.gen::<f64>() * 6.28);
+            let h_jam_l = C64::from_polar(1e-3, rng.gen::<f64>() * std::f64::consts::TAU);
+            let h_rec_l = C64::from_polar(
+                1e-3 * rng.gen_range(0.8..1.2),
+                rng.gen::<f64>() * std::f64::consts::TAU,
+            );
             let effective = h_jam_l + h_rec_l * fd.antidote_coeff();
             let reduction_db = db_from_ratio(h_jam_l.norm_sq() / effective.norm_sq());
             // At most ~1 dB of incidental change; never meaningful

@@ -299,11 +299,7 @@ impl Shield {
     ) -> Shield {
         let mut rng = StdRng::seed_from_u64(seed);
         let jam_ant = medium.add_antenna(Placement::los("shield-jam", position.0, position.1));
-        let rx_ant = medium.add_antenna(Placement::los(
-            "shield-rx",
-            position.0 + 0.02,
-            position.1,
-        ));
+        let rx_ant = medium.add_antenna(Placement::los("shield-rx", position.0 + 0.02, position.1));
         let (h_self, h_jam_rec) = cfg.coupling.draw_gains(&mut rng);
         medium.set_gain(rx_ant, rx_ant, h_self);
         medium.set_gain(jam_ant, rx_ant, h_jam_rec);
@@ -426,8 +422,8 @@ impl Shield {
     /// coupling.
     fn passive_jam_tx_dbm(&self) -> f64 {
         let coupling_db = db_from_ratio(self.fd.h_jam_rec_est().norm_sq());
-        (self.imd_rx_dbm + self.cfg.jam_margin_db - coupling_db)
-            .min(self.cfg.active_jam_power_dbm) // never exceed the FCC limit
+        (self.imd_rx_dbm + self.cfg.jam_margin_db - coupling_db).min(self.cfg.active_jam_power_dbm)
+        // never exceed the FCC limit
     }
 
     /// Expected residual self-interference while jamming at `tx_dbm`, as
@@ -438,7 +434,13 @@ impl Shield {
     }
 
     /// Starts (or refreshes) active jamming on `channel`.
-    fn engage_active_jam(&mut self, channel: usize, tick: Tick, high_power: bool, reason: JamReason) {
+    fn engage_active_jam(
+        &mut self,
+        channel: usize,
+        tick: Tick,
+        high_power: bool,
+        reason: JamReason,
+    ) {
         if let Some(entry) = self.active.get_mut(&channel) {
             entry.until = None;
             entry.last_busy = tick;
@@ -511,15 +513,20 @@ impl Node for Shield {
         // immediately before each jam; our estimates stay fresh enough at
         // the probe cadence).
         let busy = self.own_tx.is_some()
-            || self.passive_window.map(|(s, e)| tick >= s && tick < e).unwrap_or(false)
+            || self
+                .passive_window
+                .map(|(s, e)| tick >= s && tick < e)
+                .unwrap_or(false)
             || !self.active.is_empty();
         if tick >= self.next_probe_tick && !busy {
             self.fd.estimate(self.cfg.est_snr_db, &mut self.rng);
             let g = self.fd.cancellation_db();
             self.stats.cancellation_db.push(g);
-            self.log(tick, ShieldEventKind::ChannelEstimated { cancellation_db: g });
-            self.next_probe_tick =
-                tick + (self.cfg.probe_interval_s * self.cfg.fsk.fs_hz) as Tick;
+            self.log(
+                tick,
+                ShieldEventKind::ChannelEstimated { cancellation_db: g },
+            );
+            self.next_probe_tick = tick + (self.cfg.probe_interval_s * self.cfg.fsk.fs_hz) as Tick;
         }
 
         // Start a pending relayed command if the air is ours.
@@ -568,14 +575,20 @@ impl Node for Shield {
             self.fd.estimate(self.cfg.est_snr_db, &mut self.rng);
             let g = self.fd.cancellation_db();
             self.stats.cancellation_db.push(g);
-            self.log(tick, ShieldEventKind::ChannelEstimated { cancellation_db: g });
+            self.log(
+                tick,
+                ShieldEventKind::ChannelEstimated { cancellation_db: g },
+            );
             let t1 = (self.cfg.reply.t1_s * self.cfg.fsk.fs_hz) as Tick;
             let window = (self.cfg.reply.jam_window_s() * self.cfg.fsk.fs_hz) as Tick;
             self.passive_window = Some((end_tick + t1, end_tick + t1 + window));
-            self.log(end_tick + t1, ShieldEventKind::JamStart {
-                channel,
-                reason: JamReason::Passive,
-            });
+            self.log(
+                end_tick + t1,
+                ShieldEventKind::JamStart {
+                    channel,
+                    reason: JamReason::Passive,
+                },
+            );
         }
 
         // Jam emission: passive window (session channel) and active jams.
@@ -585,9 +598,12 @@ impl Node for Shield {
                 jam_channels.push((self.cfg.session_channel, self.passive_jam_tx_dbm()));
             } else if tick >= e {
                 self.passive_window = None;
-                self.log(tick, ShieldEventKind::JamEnd {
-                    channel: self.cfg.session_channel,
-                });
+                self.log(
+                    tick,
+                    ShieldEventKind::JamEnd {
+                        channel: self.cfg.session_channel,
+                    },
+                );
             }
         }
         for (&ch, _) in self.active.iter() {
@@ -619,14 +635,20 @@ impl Node for Shield {
             let threshold = expected.max(self.cfg.squelch_dbm) + self.cfg.idle_margin_db;
             if measured > threshold {
                 self.own_tx = None; // abort: switch from transmission to jamming
-                self.log(tick, ShieldEventKind::ConcurrentSignal { rssi_dbm: measured });
+                self.log(
+                    tick,
+                    ShieldEventKind::ConcurrentSignal { rssi_dbm: measured },
+                );
                 let high = measured >= self.cfg.pthresh_dbm;
                 if high {
                     self.stats.alarms += 1;
-                    self.log(tick, ShieldEventKind::Alarm {
-                        rssi_dbm: measured,
-                        channel: own_channel,
-                    });
+                    self.log(
+                        tick,
+                        ShieldEventKind::Alarm {
+                            rssi_dbm: measured,
+                            channel: own_channel,
+                        },
+                    );
                 }
                 self.engage_active_jam(own_channel, tick, high, JamReason::Concurrent);
             }
@@ -648,28 +670,28 @@ impl Node for Shield {
                 .unwrap_or(false);
             if in_passive {
                 self.sid_monitors[self.cfg.session_channel].advance_silent(block_len);
-            } else if let Some(det) = self.sid_monitors[self.cfg.session_channel].push_block(&rx)
-            {
+            } else if let Some(det) = self.sid_monitors[self.cfg.session_channel].push_block(&rx) {
                 let rssi = db_from_ratio(det.mean_power.max(1e-30));
                 self.stats.sid_detections += 1;
-                self.log(tick, ShieldEventKind::SidDetected {
-                    channel: self.cfg.session_channel,
-                    rssi_dbm: rssi,
-                });
+                self.log(
+                    tick,
+                    ShieldEventKind::SidDetected {
+                        channel: self.cfg.session_channel,
+                        rssi_dbm: rssi,
+                    },
+                );
                 let high = rssi >= self.cfg.pthresh_dbm;
                 if high {
                     self.stats.alarms += 1;
-                    self.log(tick, ShieldEventKind::Alarm {
-                        rssi_dbm: rssi,
-                        channel: self.cfg.session_channel,
-                    });
+                    self.log(
+                        tick,
+                        ShieldEventKind::Alarm {
+                            rssi_dbm: rssi,
+                            channel: self.cfg.session_channel,
+                        },
+                    );
                 }
-                self.engage_active_jam(
-                    self.cfg.session_channel,
-                    tick,
-                    high,
-                    JamReason::Active,
-                );
+                self.engage_active_jam(self.cfg.session_channel, tick, high, JamReason::Active);
             }
         }
 
@@ -690,11 +712,23 @@ impl Node for Shield {
                 if let Some(det) = self.sid_monitors[ch].push_block(&rx_c) {
                     let rssi = db_from_ratio(det.mean_power.max(1e-30));
                     self.stats.sid_detections += 1;
-                    self.log(tick, ShieldEventKind::SidDetected { channel: ch, rssi_dbm: rssi });
+                    self.log(
+                        tick,
+                        ShieldEventKind::SidDetected {
+                            channel: ch,
+                            rssi_dbm: rssi,
+                        },
+                    );
                     let high = rssi >= self.cfg.pthresh_dbm;
                     if high {
                         self.stats.alarms += 1;
-                        self.log(tick, ShieldEventKind::Alarm { rssi_dbm: rssi, channel: ch });
+                        self.log(
+                            tick,
+                            ShieldEventKind::Alarm {
+                                rssi_dbm: rssi,
+                                channel: ch,
+                            },
+                        );
                     }
                     self.engage_active_jam(ch, tick, high, JamReason::Active);
                 }

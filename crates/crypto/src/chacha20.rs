@@ -45,7 +45,11 @@ fn initial_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> 
 }
 
 /// Computes one 64-byte keystream block.
-pub fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+pub fn chacha20_block(
+    key: &[u8; KEY_LEN],
+    counter: u32,
+    nonce: &[u8; NONCE_LEN],
+) -> [u8; BLOCK_LEN] {
     let initial = initial_state(key, counter, nonce);
     let mut state = initial;
     for _ in 0..10 {
@@ -150,7 +154,10 @@ mod tests {
     fn different_counters_give_different_blocks() {
         let key = test_key();
         let nonce = [3u8; 12];
-        assert_ne!(chacha20_block(&key, 0, &nonce), chacha20_block(&key, 1, &nonce));
+        assert_ne!(
+            chacha20_block(&key, 0, &nonce),
+            chacha20_block(&key, 1, &nonce)
+        );
     }
 
     #[test]

@@ -11,7 +11,13 @@ use std::f64::consts::PI;
 /// Applies a frequency offset of `offset_hz` (and initial phase
 /// `phase_rad`) to a signal sampled at `fs_hz`, starting from sample index
 /// `start_index` (so block-wise application stays phase-continuous).
-pub fn apply_cfo(signal: &[C64], offset_hz: f64, fs_hz: f64, start_index: u64, phase_rad: f64) -> Vec<C64> {
+pub fn apply_cfo(
+    signal: &[C64],
+    offset_hz: f64,
+    fs_hz: f64,
+    start_index: u64,
+    phase_rad: f64,
+) -> Vec<C64> {
     let w = 2.0 * PI * offset_hz / fs_hz;
     signal
         .iter()
@@ -30,10 +36,7 @@ pub fn estimate_cfo(signal: &[C64], fs_hz: f64) -> f64 {
     if signal.len() < 2 {
         return 0.0;
     }
-    let acc: C64 = signal
-        .windows(2)
-        .map(|w| w[1] * w[0].conj())
-        .sum();
+    let acc: C64 = signal.windows(2).map(|w| w[1] * w[0].conj()).sum();
     acc.arg() / (2.0 * PI) * fs_hz
 }
 

@@ -167,6 +167,7 @@ impl Mul for C64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w⁻¹
     fn div(self, rhs: C64) -> C64 {
         self * rhs.inv()
     }

@@ -121,7 +121,10 @@ pub fn fft(input: &[C64]) -> Vec<C64> {
 /// One-shot inverse FFT returning a new vector (input length must be a power
 /// of two).
 pub fn ifft(input: &[C64]) -> Vec<C64> {
-    assert!(is_pow2(input.len()), "ifft input must be power-of-two sized");
+    assert!(
+        is_pow2(input.len()),
+        "ifft input must be power-of-two sized"
+    );
     let mut buf = input.to_vec();
     FftPlan::new(buf.len()).inverse(&mut buf);
     buf

@@ -19,8 +19,15 @@ use std::f64::consts::PI;
 /// * `taps` — filter length (forced odd so the filter has a symmetric
 ///   center tap).
 pub fn design_lowpass(cutoff_hz: f64, fs_hz: f64, taps: usize, window: Window) -> Vec<f64> {
-    assert!(cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0, "cutoff out of range");
-    let taps = if taps % 2 == 0 { taps + 1 } else { taps };
+    assert!(
+        cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0,
+        "cutoff out of range"
+    );
+    let taps = if taps.is_multiple_of(2) {
+        taps + 1
+    } else {
+        taps
+    };
     let fc = cutoff_hz / fs_hz; // normalized 0..0.5
     let mid = (taps / 2) as isize;
     let mut h: Vec<f64> = (0..taps)

@@ -65,7 +65,10 @@ impl ShapedNoise {
     /// The generated time-domain signal has average power 1.0; scale it to
     /// the desired transmit power with [`crate::complex::scale_in_place`].
     pub fn new(profile: &[f64]) -> Self {
-        assert!(is_pow2(profile.len()), "profile length must be a power of two");
+        assert!(
+            is_pow2(profile.len()),
+            "profile length must be a power of two"
+        );
         assert!(
             profile.iter().all(|&p| p >= 0.0),
             "power profile must be non-negative"
@@ -183,8 +186,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 256;
         let mut profile = vec![0.0; n];
-        for k in 40..48 {
-            profile[k] = 1.0;
+        for p in profile.iter_mut().take(48).skip(40) {
+            *p = 1.0;
         }
         let gen = ShapedNoise::new(&profile);
         // Average the spectrum over many blocks.

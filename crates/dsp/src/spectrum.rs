@@ -112,10 +112,7 @@ pub fn welch_psd(signal: &[C64], fft_size: usize, window: Window, fs_hz: f64) ->
     for v in acc.iter_mut() {
         *v *= norm;
     }
-    Psd {
-        power: acc,
-        fs_hz,
-    }
+    Psd { power: acc, fs_hz }
 }
 
 /// Single periodogram of the entire signal (zero-padded to a power of two).
@@ -150,7 +147,10 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap();
         let peak_freq = crate::fft::bin_freq_hz(peak_bin, 256, fs);
-        assert!((peak_freq - 50e3).abs() < 2.0 * fs / 256.0, "peak at {peak_freq}");
+        assert!(
+            (peak_freq - 50e3).abs() < 2.0 * fs / 256.0,
+            "peak at {peak_freq}"
+        );
     }
 
     #[test]

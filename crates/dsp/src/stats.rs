@@ -169,7 +169,12 @@ impl Cdf {
         for &q in &levels {
             let x = self.quantile(q);
             let bar = "#".repeat(((q * width as f64) as usize).max(1));
-            out.push_str(&format!("  P{:<3} {:>12.4} |{}\n", (q * 100.0) as u32, x, bar));
+            out.push_str(&format!(
+                "  P{:<3} {:>12.4} |{}\n",
+                (q * 100.0) as u32,
+                x,
+                bar
+            ));
         }
         out
     }

@@ -32,9 +32,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
             Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos(),
             Window::Kaiser(beta) => {
                 let t = 2.0 * x - 1.0; // -1..=1
                 bessel_i0(beta * (1.0 - t * t).sqrt()) / bessel_i0(beta)
@@ -85,7 +83,12 @@ mod tests {
 
     #[test]
     fn windows_peak_at_center() {
-        for w in [Window::Hamming, Window::Hann, Window::Blackman, Window::Kaiser(8.0)] {
+        for w in [
+            Window::Hamming,
+            Window::Hann,
+            Window::Blackman,
+            Window::Kaiser(8.0),
+        ] {
             let c = w.coefficients(65);
             let peak = c[32];
             assert!((peak - 1.0).abs() < 1e-9, "{w:?} center is {peak}");

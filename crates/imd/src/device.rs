@@ -289,12 +289,7 @@ mod tests {
         run_blocks: u64,
     ) -> (Vec<C64>, u64) {
         let modem = FskModem::new(imd.config().fsk);
-        let frame = Frame::new(
-            imd.config().serial,
-            FrameType::Command,
-            9,
-            cmd.to_payload(),
-        );
+        let frame = Frame::new(imd.config().serial, FrameType::Command, 9, cmd.to_payload());
         let wave = modem.modulate(&frame.to_bits());
         let cmd_len = wave.len() as u64;
         let mut sched = TxScheduler::new();
@@ -314,13 +309,8 @@ mod tests {
     #[test]
     fn responds_to_interrogation_within_reply_window() {
         let (mut medium, mut imd, prog_ant) = setup();
-        let (rx, cmd_len) = run_exchange(
-            &mut medium,
-            &mut imd,
-            prog_ant,
-            Command::Interrogate,
-            3_000,
-        );
+        let (rx, cmd_len) =
+            run_exchange(&mut medium, &mut imd, prog_ant, Command::Interrogate, 3_000);
         assert_eq!(imd.stats.commands_executed, 1);
         assert_eq!(imd.stats.responses_sent, 1);
 
@@ -351,7 +341,12 @@ mod tests {
         let (mut medium, mut imd, prog_ant) = setup();
         let other = hb_phy::packet::Serial::from_str_padded("SOMEONEELS");
         let modem = FskModem::new(imd.config().fsk);
-        let frame = Frame::new(other, FrameType::Command, 1, Command::Interrogate.to_payload());
+        let frame = Frame::new(
+            other,
+            FrameType::Command,
+            1,
+            Command::Interrogate.to_payload(),
+        );
         let mut sched = TxScheduler::new();
         sched.schedule(0, CH, modem.modulate(&frame.to_bits()));
         for _ in 0..2_000 {
@@ -416,8 +411,8 @@ mod tests {
         let mut bits = frame.to_bits();
         // Flip payload bits (past the header) to emulate jamming damage.
         let n = bits.len();
-        for i in (n - 40)..(n - 30) {
-            bits[i] ^= 1;
+        for b in bits[n - 40..n - 30].iter_mut() {
+            *b ^= 1;
         }
         let mut sched = TxScheduler::new();
         sched.schedule(0, CH, modem.modulate(&bits));

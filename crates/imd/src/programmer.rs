@@ -242,7 +242,10 @@ mod tests {
         assert_eq!(responses.len(), 1);
         assert!(matches!(
             responses[0].response,
-            Response::Status { battery_pct: 91..=100, .. }
+            Response::Status {
+                battery_pct: 91..=100,
+                ..
+            }
         ));
         assert_eq!(prog.commands_sent, 1);
     }

@@ -57,11 +57,11 @@ impl PatientRecord {
 /// Morphology of one ECG beat as a sum of Gaussians.
 /// `(amplitude_mV, center_fraction_of_beat, width_fraction)` per wave.
 const ECG_WAVES: [(f64, f64, f64); 5] = [
-    (0.15, 0.15, 0.035), // P
+    (0.15, 0.15, 0.035),  // P
     (-0.12, 0.28, 0.012), // Q
-    (1.20, 0.31, 0.015), // R
+    (1.20, 0.31, 0.015),  // R
     (-0.25, 0.34, 0.012), // S
-    (0.30, 0.55, 0.060), // T
+    (0.30, 0.55, 0.060),  // T
 ];
 
 /// Deterministic synthetic ECG generator.
@@ -139,9 +139,7 @@ mod tests {
         let r = PatientRecord::demo();
         let bytes = r.to_bytes();
         let name = b"DOE, JANE";
-        assert!(bytes
-            .windows(name.len())
-            .any(|w| w == name));
+        assert!(bytes.windows(name.len()).any(|w| w == name));
     }
 
     #[test]

@@ -75,7 +75,10 @@ impl TherapyParams {
     /// Checks clinical ranges.
     pub fn validate(&self) -> Result<(), TherapyError> {
         if !(30..=185).contains(&self.rate_ppm) {
-            return Err(TherapyError(format!("rate {} ppm out of 30..=185", self.rate_ppm)));
+            return Err(TherapyError(format!(
+                "rate {} ppm out of 30..=185",
+                self.rate_ppm
+            )));
         }
         if !(1..=75).contains(&self.amplitude_dv) {
             return Err(TherapyError(format!(
@@ -164,7 +167,12 @@ mod tests {
 
     #[test]
     fn mode_byte_roundtrip() {
-        for m in [PacingMode::Vvi, PacingMode::Ddd, PacingMode::Aai, PacingMode::Off] {
+        for m in [
+            PacingMode::Vvi,
+            PacingMode::Ddd,
+            PacingMode::Aai,
+            PacingMode::Off,
+        ] {
             assert_eq!(PacingMode::from_byte(m as u8), Some(m));
         }
         assert_eq!(PacingMode::from_byte(200), None);

@@ -123,7 +123,9 @@ mod tests {
 
     #[test]
     fn first_clear_skips_occupied() {
-        let busy = [true, true, false, true, false, false, false, false, false, false];
+        let busy = [
+            true, true, false, true, false, false, false, false, false, false,
+        ];
         let found = first_clear_channel(-90.0, |c| if busy[c.0] { -50.0 } else { -110.0 });
         assert_eq!(found, Some(MicsChannel(2)));
     }

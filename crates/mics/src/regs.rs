@@ -63,7 +63,10 @@ mod tests {
     fn compliance_checks() {
         assert_eq!(check_tx_power(-20.0, false), Compliance::Compliant);
         assert_eq!(check_tx_power(-10.0, false), Compliance::OverPower);
-        assert_eq!(check_tx_power(fcc_eirp_limit_dbm(), false), Compliance::Compliant);
+        assert_eq!(
+            check_tx_power(fcc_eirp_limit_dbm(), false),
+            Compliance::Compliant
+        );
         assert_eq!(check_tx_power(-36.5, true), Compliance::Compliant);
         assert_eq!(check_tx_power(-30.0, true), Compliance::OverPower);
     }

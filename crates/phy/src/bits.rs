@@ -19,7 +19,10 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 /// # Panics
 /// Panics if `bits.len() % 8 != 0` or any value is not 0/1.
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
-    assert!(bits.len() % 8 == 0, "bit count must be a multiple of 8");
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count must be a multiple of 8"
+    );
     bits.chunks(8)
         .map(|chunk| {
             chunk.iter().fold(0u8, |acc, &b| {
@@ -136,7 +139,7 @@ mod tests {
     fn prbs_zero_seed_ok() {
         let mut p = Prbs::new(0);
         let bits = p.bits(100);
-        assert!(bits.iter().any(|&b| b == 1));
+        assert!(bits.contains(&1));
     }
 
     #[test]

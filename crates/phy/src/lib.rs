@@ -30,6 +30,6 @@ pub mod rssi;
 pub mod stream;
 
 pub use fsk::{FskModem, FskParams};
-pub use stream::{DetectorEvent, SidDetection, SidMonitor, StreamingDetector};
 pub use matcher::SidMatcher;
 pub use packet::{identifying_sequence, Frame, FrameError, FrameType, Serial};
+pub use stream::{DetectorEvent, SidDetection, SidMonitor, StreamingDetector};

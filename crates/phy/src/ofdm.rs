@@ -49,8 +49,16 @@ impl OfdmParams {
 
 /// QPSK maps bit pairs to unit-power constellation points (Gray coded).
 fn qpsk_map(b0: u8, b1: u8) -> C64 {
-    let re = if b0 == 0 { FRAC_1_SQRT_2 } else { -FRAC_1_SQRT_2 };
-    let im = if b1 == 0 { FRAC_1_SQRT_2 } else { -FRAC_1_SQRT_2 };
+    let re = if b0 == 0 {
+        FRAC_1_SQRT_2
+    } else {
+        -FRAC_1_SQRT_2
+    };
+    let im = if b1 == 0 {
+        FRAC_1_SQRT_2
+    } else {
+        -FRAC_1_SQRT_2
+    };
     C64::new(re, im)
 }
 
@@ -149,10 +157,7 @@ impl OfdmModem {
     /// Estimates the per-subcarrier channel from a received pilot symbol.
     pub fn estimate_channel(&self, rx_pilot: &[C64]) -> Vec<C64> {
         let freq = self.to_freq(rx_pilot);
-        freq.iter()
-            .zip(&self.pilot)
-            .map(|(&y, &p)| y / p)
-            .collect()
+        freq.iter().zip(&self.pilot).map(|(&y, &p)| y / p).collect()
     }
 
     /// Demodulates a burst produced by [`OfdmModem::modulate`] after channel
@@ -259,7 +264,7 @@ mod tests {
     #[test]
     fn short_buffer_yields_no_bits() {
         let m = modem();
-        assert!(m.demodulate(&vec![C64::ONE; 10]).is_empty());
+        assert!(m.demodulate(&[C64::ONE; 10]).is_empty());
     }
 
     #[test]

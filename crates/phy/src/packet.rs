@@ -277,7 +277,12 @@ mod tests {
 
     #[test]
     fn max_frame_duration_is_21ms_at_telemetry_rate() {
-        let f = Frame::new(Serial([0; 10]), FrameType::Response, 0, vec![0; MAX_PAYLOAD]);
+        let f = Frame::new(
+            Serial([0; 10]),
+            FrameType::Response,
+            0,
+            vec![0; MAX_PAYLOAD],
+        );
         let d = f.duration_s(12_500.0);
         assert!(d <= 0.021, "duration {d}");
         assert!(d >= 0.020, "duration {d}");
@@ -352,6 +357,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds MAX_PAYLOAD")]
     fn oversize_payload_panics() {
-        let _ = Frame::new(Serial([0; 10]), FrameType::Command, 0, vec![0; MAX_PAYLOAD + 1]);
+        let _ = Frame::new(
+            Serial([0; 10]),
+            FrameType::Command,
+            0,
+            vec![0; MAX_PAYLOAD + 1],
+        );
     }
 }

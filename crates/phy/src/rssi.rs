@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn reset_clears() {
         let mut d = EnergyDetector::new(-40.0, 4);
-        d.push_block(&vec![C64::ONE; 8]);
+        d.push_block(&[C64::ONE; 8]);
         d.reset();
         assert!(!d.busy());
         assert_eq!(d.level_dbm(), -200.0);

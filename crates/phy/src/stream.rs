@@ -213,9 +213,7 @@ impl StreamingDetector {
                         Some(lock) if lock.phase == p => {
                             lock.bits.push(bit);
                             // Read the length field as soon as available.
-                            if lock.total_bits.is_none()
-                                && lock.bits.len() >= LEN_FIELD_BIT + 16
-                            {
+                            if lock.total_bits.is_none() && lock.bits.len() >= LEN_FIELD_BIT + 16 {
                                 let mut len = 0usize;
                                 for i in 0..16 {
                                     len = (len << 1) | lock.bits[LEN_FIELD_BIT + i] as usize;
@@ -536,7 +534,10 @@ mod tests {
         {
             assert_eq!(result.as_ref().unwrap(), &frame);
             // Start within one symbol of the true position.
-            assert!((*start_tick as i64 - 100).unsigned_abs() <= 24, "start {start_tick}");
+            assert!(
+                (*start_tick as i64 - 100).unsigned_abs() <= 24,
+                "start {start_tick}"
+            );
             assert!(*end_tick > *start_tick);
             assert!(*mean_power > 0.5, "power {mean_power}");
         }
@@ -603,12 +604,7 @@ mod tests {
         let sync_samples = 80 * 24; // preamble+sync+serial region stays clean
         let mut sig: Vec<C64> = clean[..sync_samples].to_vec();
         let jam = white_noise(&mut rng, clean.len() - sync_samples, 30.0);
-        sig.extend(
-            clean[sync_samples..]
-                .iter()
-                .zip(&jam)
-                .map(|(&s, &j)| s + j),
-        );
+        sig.extend(clean[sync_samples..].iter().zip(&jam).map(|(&s, &j)| s + j));
         // Enough trailing silence for the detector to collect a full
         // max-length frame even if the jammed length field reads as the
         // maximum.

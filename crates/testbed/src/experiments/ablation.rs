@@ -101,11 +101,21 @@ pub fn cancellation_sweep(effort: Effort, seed: u64) -> CancellationAblation {
     for (i, g) in [20.0, 24.0, 28.0, 32.0, 38.0].into_iter().enumerate() {
         // A fn-pointer tweak keyed off a thread-local would be clumsy;
         // instead rebuild with a custom config through the tweak hook.
-        fn set20(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 20.0; }
-        fn set24(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 24.0; }
-        fn set28(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 28.0; }
-        fn set32(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 32.0; }
-        fn set38(c: &mut hb_shield::shield::ShieldConfig) { c.est_snr_db = 38.0; }
+        fn set20(c: &mut hb_shield::shield::ShieldConfig) {
+            c.est_snr_db = 20.0;
+        }
+        fn set24(c: &mut hb_shield::shield::ShieldConfig) {
+            c.est_snr_db = 24.0;
+        }
+        fn set28(c: &mut hb_shield::shield::ShieldConfig) {
+            c.est_snr_db = 28.0;
+        }
+        fn set32(c: &mut hb_shield::shield::ShieldConfig) {
+            c.est_snr_db = 32.0;
+        }
+        fn set38(c: &mut hb_shield::shield::ShieldConfig) {
+            c.est_snr_db = 38.0;
+        }
         let tweak: fn(&mut hb_shield::shield::ShieldConfig) = match i {
             0 => set20,
             1 => set24,
@@ -345,7 +355,13 @@ mod tests {
 
     #[test]
     fn flat_jamming_is_weaker_against_matched_filter() {
-        let r = jam_shape(Effort { packets_per_location: 6, ..Effort::tiny() }, 19);
+        let r = jam_shape(
+            Effort {
+                packets_per_location: 6,
+                ..Effort::tiny()
+            },
+            19,
+        );
         assert!(
             r.ber_shaped > r.ber_flat + 0.05,
             "shaped {} should beat flat {}",
@@ -368,7 +384,13 @@ mod tests {
 
     #[test]
     fn protection_insensitive_to_wearing_distance() {
-        let r = wearability(Effort { packets_per_location: 5, ..Effort::tiny() }, 43);
+        let r = wearability(
+            Effort {
+                packets_per_location: 5,
+                ..Effort::tiny()
+            },
+            43,
+        );
         for &(d, per, ber) in &r.rows {
             assert!(per < 0.4, "PER {per} at {d} m");
             assert!((ber - 0.5).abs() < 0.12, "BER {ber} at {d} m");
@@ -377,7 +399,13 @@ mod tests {
 
     #[test]
     fn shield_survives_rf_impairments() {
-        let r = robustness(Effort { packets_per_location: 6, ..Effort::tiny() }, 47);
+        let r = robustness(
+            Effort {
+                packets_per_location: 6,
+                ..Effort::tiny()
+            },
+            47,
+        );
         assert!(
             r.per_impaired < 0.5,
             "impairments must not collapse the relay (PER {})",
@@ -392,7 +420,13 @@ mod tests {
 
     #[test]
     fn low_cancellation_breaks_the_shield() {
-        let r = cancellation_sweep(Effort { packets_per_location: 5, ..Effort::tiny() }, 23);
+        let r = cancellation_sweep(
+            Effort {
+                packets_per_location: 5,
+                ..Effort::tiny()
+            },
+            23,
+        );
         let per_low = r.per_vs_g.first().unwrap().1;
         let per_high = r.per_vs_g.last().unwrap().1;
         assert!(

@@ -54,7 +54,7 @@ pub fn attack_once(
     };
     // The paper evaluates both devices and pools the results (§10);
     // alternate between them by seed.
-    cfg.imd_model = if seed % 2 == 0 {
+    cfg.imd_model = if seed.is_multiple_of(2) {
         ImdModel::VirtuosoIcd
     } else {
         ImdModel::ConcertoCrt
@@ -137,11 +137,25 @@ pub fn run(effort: Effort, seed: u64) -> Fig11Result {
     for loc in 1..=14 {
         absent.push((
             loc,
-            success_probability(loc, false, &cfg, AttackGoal::ElicitReply, effort.attempts_per_location, seed),
+            success_probability(
+                loc,
+                false,
+                &cfg,
+                AttackGoal::ElicitReply,
+                effort.attempts_per_location,
+                seed,
+            ),
         ));
         present.push((
             loc,
-            success_probability(loc, true, &cfg, AttackGoal::ElicitReply, effort.attempts_per_location, seed ^ 0xABCD),
+            success_probability(
+                loc,
+                true,
+                &cfg,
+                AttackGoal::ElicitReply,
+                effort.attempts_per_location,
+                seed ^ 0xABCD,
+            ),
         ));
     }
     let mut artifact = Artifact::new(

@@ -80,8 +80,8 @@ pub fn run(effort: Effort, seed: u64) -> Fig12Result {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::fig11::attack_once;
+    use super::*;
 
     #[test]
     fn therapy_change_blocked_by_shield() {

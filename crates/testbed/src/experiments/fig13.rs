@@ -127,7 +127,10 @@ mod tests {
                 }
             }
         }
-        assert!(wins >= 3, "100x attacker should usually win at 20 cm ({wins}/4)");
+        assert!(
+            wins >= 3,
+            "100x attacker should usually win at 20 cm ({wins}/4)"
+        );
         assert_eq!(alarms_on_wins, wins, "every success must trigger the alarm");
     }
 
@@ -153,6 +156,9 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins >= 2, "100x attacker should reach 27 m LOS with no shield ({wins}/3)");
+        assert!(
+            wins >= 2,
+            "100x attacker should reach 27 m LOS with no shield ({wins}/3)"
+        );
     }
 }

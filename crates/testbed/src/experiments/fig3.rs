@@ -57,7 +57,10 @@ fn one_trial(busy_medium: bool, seed: u64) -> (Option<f64>, Vec<(f64, f64)>) {
         let mut sched = hb_channel::txsched::TxScheduler::new();
         sched.schedule(start, channel, burst);
         // Drive via a tiny ad-hoc node.
-        struct Burster(hb_channel::txsched::TxScheduler, hb_channel::medium::AntennaId);
+        struct Burster(
+            hb_channel::txsched::TxScheduler,
+            hb_channel::medium::AntennaId,
+        );
         impl Node for Burster {
             fn label(&self) -> &str {
                 "burster"
@@ -69,7 +72,13 @@ fn one_trial(busy_medium: bool, seed: u64) -> (Option<f64>, Vec<(f64, f64)>) {
         }
         let mut burster = Burster(sched, prog_ant);
         let mut trace = Vec::new();
-        run_and_trace(&mut scenario, &mut prog, Some(&mut burster), obs_ant, &mut trace);
+        run_and_trace(
+            &mut scenario,
+            &mut prog,
+            Some(&mut burster),
+            obs_ant,
+            &mut trace,
+        );
         let latency = reply_latency(&scenario, cmd_end);
         return (latency, trace);
     }
@@ -181,6 +190,9 @@ mod tests {
         }
         // …and the occupied medium does not delay the reply by more than
         // the window's own jitter.
-        assert!((q - b).abs() < 0.001, "occupancy changed timing: {q} vs {b}");
+        assert!(
+            (q - b).abs() < 0.001,
+            "occupancy changed timing: {q} vs {b}"
+        );
     }
 }

@@ -78,10 +78,6 @@ mod tests {
             .iter()
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap();
-        assert!(
-            (peak.0.abs() - 50.0).abs() < 10.0,
-            "peak at {} kHz",
-            peak.0
-        );
+        assert!((peak.0.abs() - 50.0).abs() < 10.0, "peak at {} kHz", peak.0);
     }
 }

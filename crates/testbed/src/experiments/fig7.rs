@@ -81,9 +81,7 @@ pub fn run(effort: Effort, seed: u64) -> Fig7Result {
         cdf.min(),
         cdf.max()
     ));
-    artifact.note(
-        "cancellation achieved with antennas 2 cm apart — no half-wavelength separation",
-    );
+    artifact.note("cancellation achieved with antennas 2 cm apart — no half-wavelength separation");
     Fig7Result {
         cancellation_db: cdf,
         artifact,
@@ -96,7 +94,13 @@ mod tests {
 
     #[test]
     fn mean_cancellation_near_32db() {
-        let r = run(Effort { runs: 25, ..Effort::tiny() }, 42);
+        let r = run(
+            Effort {
+                runs: 25,
+                ..Effort::tiny()
+            },
+            42,
+        );
         let mean = r.cancellation_db.mean();
         assert!(
             (mean - 32.0).abs() < 3.0,

@@ -25,21 +25,13 @@ pub struct Fig8Result {
 }
 
 /// Runs one margin point; returns (eavesdropper BER, shield PER).
-pub fn run_margin_point(
-    margin_db: f64,
-    packets: usize,
-    seed: u64,
-) -> (f64, f64) {
+pub fn run_margin_point(margin_db: f64, packets: usize, seed: u64) -> (f64, f64) {
     let mut cfg = ScenarioConfig::paper(seed);
     cfg.jam_margin_db = Some(margin_db);
     let mut builder = ScenarioBuilder::new(cfg);
     let eve_ant = builder.add_at_location(1, "eavesdropper");
     let mut scenario = builder.build();
-    let mut eve = Eavesdropper::new(
-        scenario.imd.config().fsk,
-        eve_ant,
-        scenario.channel(),
-    );
+    let mut eve = Eavesdropper::new(scenario.imd.config().fsk, eve_ant, scenario.channel());
 
     let mut bit_errors = 0usize;
     let mut bits_total = 0usize;
@@ -85,7 +77,10 @@ pub fn run(effort: Effort, seed: u64) -> Fig8Result {
         "Eavesdropper BER (a) and shield PER (b) vs jamming power relative to the IMD's received power",
     );
     artifact.push_series(Series::new("(a) BER at the adversary", ber_curve.clone()));
-    artifact.push_series(Series::new("(b) packet loss at the shield", per_curve.clone()));
+    artifact.push_series(Series::new(
+        "(b) packet loss at the shield",
+        per_curve.clone(),
+    ));
     let at20_ber = ber_curve
         .iter()
         .find(|(m, _)| (*m - 20.0).abs() < 0.1)
@@ -129,12 +124,15 @@ mod tests {
         // paper's ~0.05 because the shield's body-contact coupling gives
         // the eavesdropper relatively more jamming at equal margin — see
         // EXPERIMENTS.md.)
-        let (ber0, _) = run_margin_point(0.0, 6, 11);
-        let (ber20, _) = run_margin_point(20.0, 6, 11);
+        let (ber0, _) = run_margin_point(0.0, 12, 11);
+        let (ber20, _) = run_margin_point(20.0, 12, 11);
         assert!(
             ber0 < ber20 - 0.1,
             "BER at 0 dB ({ber0}) must be below BER at 20 dB ({ber20})"
         );
-        assert!((ber20 - 0.5).abs() < 0.08, "BER at 20 dB ({ber20}) must be ~0.5");
+        assert!(
+            (ber20 - 0.5).abs() < 0.08,
+            "BER at 20 dB ({ber20}) must be ~0.5"
+        );
     }
 }

@@ -30,7 +30,7 @@ pub struct Fig9Result {
 /// profiles by seed, pooling both as the paper does (§10).
 pub fn ber_at_location(location: usize, packets: usize, seed: u64) -> f64 {
     let mut cfg = ScenarioConfig::paper(seed);
-    cfg.imd_model = if seed % 2 == 0 {
+    cfg.imd_model = if seed.is_multiple_of(2) {
         crate::scenario::ImdModel::VirtuosoIcd
     } else {
         crate::scenario::ImdModel::ConcertoCrt
@@ -62,7 +62,11 @@ pub fn ber_at_location(location: usize, packets: usize, seed: u64) -> f64 {
 pub fn run(effort: Effort, seed: u64) -> Fig9Result {
     let mut per_loc = Vec::new();
     for loc in 1..=18 {
-        let ber = ber_at_location(loc, effort.packets_per_location, seed.wrapping_add(loc as u64));
+        let ber = ber_at_location(
+            loc,
+            effort.packets_per_location,
+            seed.wrapping_add(loc as u64),
+        );
         per_loc.push((loc, ber));
     }
     let cdf = Cdf::from_samples(per_loc.iter().map(|&(_, b)| b).collect());

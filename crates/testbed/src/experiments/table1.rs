@@ -58,9 +58,7 @@ pub fn attempt(tx_power_dbm: f64, seed: u64) -> Option<f64> {
     if scenario.imd.stats.responses_sent > 0 {
         // Ground-truth RSSI at the shield's receive antenna.
         let shield = scenario.shield.as_ref().unwrap();
-        let gain = scenario
-            .medium
-            .gain(atk_ant, shield.rx_antenna());
+        let gain = scenario.medium.gain(atk_ant, shield.rx_antenna());
         Some(tx_power_dbm + db_from_ratio(gain.norm_sq()))
     } else {
         None
@@ -95,7 +93,10 @@ pub fn run(effort: Effort, seed: u64) -> Table1Result {
     );
     artifact.push_series(Series::new(
         "successful-trigger RSSI (dBm), in sweep order",
-        rssi.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+        rssi.iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, v))
+            .collect(),
     ));
     artifact.note(stat_table(
         "Adversary RSSI that elicits IMD response:",

@@ -136,8 +136,14 @@ pub fn run(effort: Effort, seed: u64) -> Table2Result {
     artifact.note(stat_table(
         "Jamming probability (x=0 cross-traffic, x=1 IMD-addressed):",
         &[
-            ("Cross-traffic", cross_jammed as f64 / cross_sent.max(1) as f64),
-            ("Packets that trigger IMD", imd_jammed as f64 / imd_sent.max(1) as f64),
+            (
+                "Cross-traffic",
+                cross_jammed as f64 / cross_sent.max(1) as f64,
+            ),
+            (
+                "Packets that trigger IMD",
+                imd_jammed as f64 / imd_sent.max(1) as f64,
+            ),
         ],
     ));
     artifact.note(format!(

@@ -157,7 +157,7 @@ mod tests {
     fn mix_of_los_and_nlos() {
         let l = Fig6Layout::paper();
         let los = l.locations.iter().filter(|x| x.line_of_sight).count();
-        assert!(los >= 6 && los <= 12, "{los} LOS locations");
+        assert!((6..=12).contains(&los), "{los} LOS locations");
     }
 
     #[test]

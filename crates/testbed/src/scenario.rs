@@ -131,31 +131,23 @@ impl ScenarioBuilder {
         let imd_ant = medium.add_antenna(Placement::los("imd", 0.0, 0.0).implanted());
 
         let shield = if cfg.shield_enabled {
-            let mut scfg = ShieldConfig::paper_defaults(
-                cfg.imd_model.config(cfg.channel).serial,
-                cfg.channel,
-            );
+            let mut scfg =
+                ShieldConfig::paper_defaults(cfg.imd_model.config(cfg.channel).serial, cfg.channel);
             if let Some(margin) = cfg.jam_margin_db {
                 scfg.jam_margin_db = margin;
             }
             if let Some(tweak) = cfg.shield_tweak {
                 tweak(&mut scfg);
             }
-            let shield = Shield::install(
-                scfg,
-                &mut medium,
-                (layout.shield_offset_m, 0.0),
-                rng.gen(),
-            );
+            let shield =
+                Shield::install(scfg, &mut medium, (layout.shield_offset_m, 0.0), rng.gen());
             // Body-contact coupling: explicit shield↔IMD links (body loss
             // plus the contact coupling), reciprocal, with random phases.
             let loss_db = cfg.pathloss.body_loss_db + cfg.shield_body_coupling_db;
             let amp = hb_dsp::units::ratio_from_db(-loss_db).sqrt();
             for ant in [shield.jam_antenna(), shield.rx_antenna()] {
-                let g = hb_dsp::complex::C64::from_polar(
-                    amp,
-                    rng.gen::<f64>() * std::f64::consts::TAU,
-                );
+                let g =
+                    hb_dsp::complex::C64::from_polar(amp, rng.gen::<f64>() * std::f64::consts::TAU);
                 medium.set_gain(ant, imd_ant, g);
                 medium.set_gain(imd_ant, ant, g);
             }
@@ -187,8 +179,7 @@ impl ScenarioBuilder {
 
     /// Finalizes: draws all link gains and constructs the devices.
     pub fn build(mut self) -> Scenario {
-        self.medium
-            .build_links(&self.cfg.pathloss, self.cfg.fading);
+        self.medium.build_links(&self.cfg.pathloss, self.cfg.fading);
         self.medium
             .set_noise_floor_dbm(self.imd_ant, self.cfg.imd_noise_floor_dbm);
         let imd = ImdDevice::new(
@@ -275,9 +266,7 @@ mod tests {
         let shield = s.shield.as_ref().unwrap();
         // Self-loop ≈ −3 dB; jam→rx ≈ −30 dB (not overwritten by
         // build_links).
-        let hself = s
-            .medium
-            .gain(shield.rx_antenna(), shield.rx_antenna());
+        let hself = s.medium.gain(shield.rx_antenna(), shield.rx_antenna());
         let hjr = s.medium.gain(shield.jam_antenna(), shield.rx_antenna());
         assert!((db_from_ratio(hself.norm_sq()) - (-3.0)).abs() < 0.5);
         assert!((db_from_ratio(hjr.norm_sq()) - (-30.0)).abs() < 0.5);
@@ -303,13 +292,14 @@ mod tests {
             let mut b = ScenarioBuilder::new(ScenarioConfig::paper(seed));
             let a = b.add_at_location(8, "adv");
             let s = b.build();
-            losses.push(db_from_ratio(
-                s.medium.gain(a, s.imd.antenna()).norm_sq(),
-            ));
+            losses.push(db_from_ratio(s.medium.gain(a, s.imd.antenna()).norm_sq()));
         }
         let min = losses.iter().cloned().fold(f64::MAX, f64::min);
         let max = losses.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(max - min > 0.5, "shadowing should vary across seeds: {losses:?}");
+        assert!(
+            max - min > 0.5,
+            "shadowing should vary across seeds: {losses:?}"
+        );
     }
 
     #[test]

@@ -10,13 +10,7 @@ use heartbeats::imd::commands::Command;
 use heartbeats::imd::therapy::TherapyParams;
 use heartbeats::testbed::scenario::{ScenarioBuilder, ScenarioConfig};
 
-fn attack(
-    label: &str,
-    location: usize,
-    shield_on: bool,
-    attacker_cfg: AttackerConfig,
-    seed: u64,
-) {
+fn attack(label: &str, location: usize, shield_on: bool, attacker_cfg: AttackerConfig, seed: u64) {
     let cfg = if shield_on {
         ScenarioConfig::paper(seed)
     } else {
@@ -74,16 +68,64 @@ fn hopping_attack(seed: u64) {
 fn main() {
     println!("== active attacks against the IMD ==\n");
     println!("-- commercial programmer power (FCC limit), therapy modification --");
-    attack("20 cm, shield absent:", 1, false, AttackerConfig::commercial_programmer(), 1);
-    attack("20 cm, shield present:", 1, true, AttackerConfig::commercial_programmer(), 2);
-    attack("14 m LOS (location 8), shield absent:", 8, false, AttackerConfig::commercial_programmer(), 3);
-    attack("30 m NLOS (location 18), shield absent:", 18, false, AttackerConfig::commercial_programmer(), 4);
+    attack(
+        "20 cm, shield absent:",
+        1,
+        false,
+        AttackerConfig::commercial_programmer(),
+        1,
+    );
+    attack(
+        "20 cm, shield present:",
+        1,
+        true,
+        AttackerConfig::commercial_programmer(),
+        2,
+    );
+    attack(
+        "14 m LOS (location 8), shield absent:",
+        8,
+        false,
+        AttackerConfig::commercial_programmer(),
+        3,
+    );
+    attack(
+        "30 m NLOS (location 18), shield absent:",
+        18,
+        false,
+        AttackerConfig::commercial_programmer(),
+        4,
+    );
 
     println!("\n-- custom hardware at 100x power --");
-    attack("20 cm, shield absent:", 1, false, AttackerConfig::high_power_custom(), 5);
-    attack("20 cm, shield present:", 1, true, AttackerConfig::high_power_custom(), 6);
-    attack("13 m LOS (location 7), shield present:", 7, true, AttackerConfig::high_power_custom(), 7);
-    attack("27 m LOS (location 13), shield absent:", 13, false, AttackerConfig::high_power_custom(), 8);
+    attack(
+        "20 cm, shield absent:",
+        1,
+        false,
+        AttackerConfig::high_power_custom(),
+        5,
+    );
+    attack(
+        "20 cm, shield present:",
+        1,
+        true,
+        AttackerConfig::high_power_custom(),
+        6,
+    );
+    attack(
+        "13 m LOS (location 7), shield present:",
+        7,
+        true,
+        AttackerConfig::high_power_custom(),
+        7,
+    );
+    attack(
+        "27 m LOS (location 13), shield absent:",
+        13,
+        false,
+        AttackerConfig::high_power_custom(),
+        8,
+    );
 
     println!("\n-- evasion: frequency hopping across the MICS band --");
     hopping_attack(9);

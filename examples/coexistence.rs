@@ -60,13 +60,21 @@ fn main() {
         "radiosonde packet   {:>7}..{:<7} jammed: {}",
         sonde_interval.0,
         sonde_interval.1,
-        if sonde_jammed { "YES (bug!)" } else { "no — primary user left alone" }
+        if sonde_jammed {
+            "YES (bug!)"
+        } else {
+            "no — primary user left alone"
+        }
     );
     println!(
         "IMD-addressed cmd   {:>7}..{:<7} jammed: {}",
         cmd_interval.0,
         cmd_interval.1,
-        if cmd_jammed { "yes — command neutralized" } else { "NO (bug!)" }
+        if cmd_jammed {
+            "yes — command neutralized"
+        } else {
+            "NO (bug!)"
+        }
     );
     println!(
         "IMD executed {} unauthorized commands",

@@ -41,7 +41,11 @@ fn without_shield() {
     let record = heartbeats::imd::telemetry::PatientRecord::demo();
     let mut leaked = Vec::new();
     for chunk in 0..record.chunk_count() {
-        prog.send_command_at(scenario.medium.tick(), serial, Command::ReadPatient { chunk });
+        prog.send_command_at(
+            scenario.medium.tick(),
+            serial,
+            Command::ReadPatient { chunk },
+        );
         scenario.run_seconds(
             &mut [&mut prog as &mut dyn Node, &mut eve as &mut dyn Node],
             0.06,
@@ -61,7 +65,13 @@ fn without_shield() {
     }
     let printable: String = leaked
         .iter()
-        .map(|&b| if b.is_ascii_graphic() || b == b' ' { b as char } else { '.' })
+        .map(|&b| {
+            if b.is_ascii_graphic() || b == b' ' {
+                b as char
+            } else {
+                '.'
+            }
+        })
         .collect();
     println!("shield ABSENT:  eavesdropper reconstructed payload bytes:");
     println!("   {printable}");
@@ -79,7 +89,11 @@ fn with_shield() {
     let mut errors = 0usize;
     let mut total = 0usize;
     for chunk in 0..record.chunk_count() {
-        relay_one_exchange(&mut scenario, &mut [&mut eve], Command::ReadPatient { chunk });
+        relay_one_exchange(
+            &mut scenario,
+            &mut [&mut eve],
+            Command::ReadPatient { chunk },
+        );
         for rec in scenario.imd.take_tx_log() {
             let ber = eve.ber_against(rec.start_tick, &rec.bits);
             errors += (ber * rec.bits.len() as f64).round() as usize;
@@ -95,7 +109,6 @@ fn with_shield() {
     let shield = scenario.shield.as_ref().unwrap();
     println!(
         "   meanwhile the shield itself decoded {}/{} of the jammed replies",
-        shield.stats.imd_frames_ok,
-        scenario.imd.stats.responses_sent
+        shield.stats.imd_frames_ok, scenario.imd.stats.responses_sent
     );
 }

@@ -12,7 +12,11 @@ use std::time::Instant;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let effort = if full { Effort::full() } else { Effort::quick() };
+    let effort = if full {
+        Effort::full()
+    } else {
+        Effort::quick()
+    };
     let seed = 20110815; // SIGCOMM'11 started August 15, 2011
     fs::create_dir_all("results").expect("create results dir");
 

@@ -42,7 +42,10 @@ fn main() {
     for (label, cmd) in [
         ("interrogate", Command::Interrogate),
         ("read therapy", Command::ReadTherapy),
-        ("read patient record chunk 0", Command::ReadPatient { chunk: 0 }),
+        (
+            "read patient record chunk 0",
+            Command::ReadPatient { chunk: 0 },
+        ),
         ("read stored ECG chunk 11", Command::ReadEcg { chunk: 11 }),
     ] {
         // Seal the command for the shield…

@@ -37,7 +37,10 @@ fn full_secure_relay_with_eavesdropper() {
 
         for frame in scenario.shield.as_mut().unwrap().take_sealed_responses() {
             let plain = programmer.open_frame(&frame).unwrap();
-            if matches!(Response::from_payload(&plain), Some(Response::Status { .. })) {
+            if matches!(
+                Response::from_payload(&plain),
+                Some(Response::Status { .. })
+            ) {
                 got_status = true;
             }
         }
@@ -115,14 +118,14 @@ fn protection_matrix() {
     };
 
     // FCC power, 20 cm: works without shield, blocked with it.
-    assert_eq!(run(1, false, &fcc, 1).0, true);
-    assert_eq!(run(1, true, &fcc, 1).0, false);
+    assert!(run(1, false, &fcc, 1).0);
+    assert!(!run(1, true, &fcc, 1).0);
     // 100x power, 20 cm: beats the shield — but the alarm rings.
     let (replied, alarm) = run(1, true, &hot, 2);
     assert!(replied, "100x at 20 cm should capture the IMD");
     assert!(alarm, "every high-power success must raise the alarm");
     // 100x power, 13 m: shield wins.
-    assert_eq!(run(7, true, &hot, 3).0, false);
+    assert!(!run(7, true, &hot, 3).0);
 }
 
 /// §7: an adversary trying to alter the *shield's own* transmission makes
@@ -145,10 +148,12 @@ fn concurrent_transmission_triggers_jamming() {
     scenario.run_seconds(&mut [&mut atk as &mut dyn Node], 0.09);
 
     let shield = scenario.shield.as_ref().unwrap();
-    let concurrent = shield
-        .events
-        .iter()
-        .any(|e| matches!(e.kind, heartbeats::shield::shield::ShieldEventKind::ConcurrentSignal { .. }));
+    let concurrent = shield.events.iter().any(|e| {
+        matches!(
+            e.kind,
+            heartbeats::shield::shield::ShieldEventKind::ConcurrentSignal { .. }
+        )
+    });
     assert!(concurrent, "shield must detect the concurrent signal");
     assert!(
         shield.stats.active_jam_events > 0,

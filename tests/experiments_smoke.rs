@@ -31,7 +31,7 @@ fn fig7_smoke() {
 }
 
 #[test]
-fn fig9_smoke() {
+fn fig9_single_location_smoke() {
     let ber = experiments::fig9::ber_at_location(5, 3, SEED);
     assert!((ber - 0.5).abs() < 0.1, "BER {ber}");
 }
@@ -41,6 +41,99 @@ fn fig10_smoke() {
     let (sent, decoded) = experiments::fig10::one_run(5, SEED);
     assert_eq!(sent, 5);
     assert!(decoded >= 4);
+}
+
+#[test]
+fn fig8_smoke() {
+    let r = experiments::fig8::run(Effort::tiny(), SEED);
+    assert_eq!(r.ber_curve.len(), 11);
+    assert_eq!(r.per_curve.len(), 11);
+    for &(_, ber) in &r.ber_curve {
+        assert!((0.0..=1.0).contains(&ber), "BER {ber} out of range");
+    }
+    // The trade-off's endpoints: more jamming hurts the eavesdropper.
+    let first = r.ber_curve.first().unwrap().1;
+    let last = r.ber_curve.last().unwrap().1;
+    assert!(
+        last >= first,
+        "BER must not fall as jam power rises ({first} -> {last})"
+    );
+}
+
+#[test]
+fn fig9_smoke() {
+    let r = experiments::fig9::run(Effort::tiny(), SEED);
+    assert!(!r.ber_per_location.is_empty());
+    for &(loc, ber) in &r.ber_per_location {
+        assert!(
+            (0.0..=1.0).contains(&ber),
+            "location {loc}: BER {ber} out of range"
+        );
+    }
+}
+
+#[test]
+fn fig11_smoke() {
+    let r = experiments::fig11::run(Effort::tiny(), SEED);
+    assert!(!r.absent.is_empty() && r.absent.len() == r.present.len());
+    let p_absent: f64 = r.absent.iter().map(|&(_, p)| p).sum();
+    let p_present: f64 = r.present.iter().map(|&(_, p)| p).sum();
+    assert!(
+        p_present <= p_absent,
+        "shield must not increase attack success ({p_present} vs {p_absent})"
+    );
+}
+
+#[test]
+fn fig12_smoke() {
+    let r = experiments::fig12::run(Effort::tiny(), SEED);
+    assert!(!r.absent.is_empty() && r.absent.len() == r.present.len());
+    let p_present: f64 = r.present.iter().map(|&(_, p)| p).sum();
+    assert!(
+        p_present == 0.0,
+        "therapy changes must never succeed through the shield (sum {p_present})"
+    );
+}
+
+#[test]
+fn fig13_smoke() {
+    let r = experiments::fig13::run(Effort::tiny(), SEED);
+    assert!(!r.present.is_empty());
+    assert!((0.0..=1.0).contains(&r.alarm_coverage_of_successes));
+}
+
+#[test]
+fn table1_smoke() {
+    let r = experiments::table1::run(Effort::tiny(), SEED);
+    assert!(!r.successful_rssi_dbm.is_empty());
+    assert!(r.min_dbm <= r.avg_dbm);
+    assert!(r.std_dbm >= 0.0);
+    assert!(
+        r.recommended_pthresh_dbm <= r.min_dbm,
+        "Pthresh {} must sit below the weakest legitimate reply {}",
+        r.recommended_pthresh_dbm,
+        r.min_dbm
+    );
+}
+
+#[test]
+fn ablation_smoke() {
+    let jam = experiments::ablation::jam_shape(Effort::tiny(), SEED);
+    assert!(
+        jam.ber_shaped >= jam.ber_flat - 0.05,
+        "shaped jamming ({}) must not trail flat jamming ({}) at equal power",
+        jam.ber_shaped,
+        jam.ber_flat
+    );
+    let sweep = experiments::ablation::cancellation_sweep(Effort::tiny(), SEED);
+    assert!(!sweep.per_vs_g.is_empty());
+    let ta = experiments::ablation::turnaround(Effort::tiny(), SEED);
+    assert!(ta.hardware_s <= ta.software_s);
+    let wear = experiments::ablation::wearability(Effort::tiny(), SEED);
+    assert!(!wear.rows.is_empty());
+    let rob = experiments::ablation::robustness(Effort::tiny(), SEED);
+    assert!((0.0..=1.0).contains(&rob.per_clean));
+    assert!((0.0..=1.0).contains(&rob.per_impaired));
 }
 
 #[test]

@@ -1,0 +1,192 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! This workspace builds without registry access, so the slice of the
+//! proptest API its test suites use is vendored here: the [`proptest!`]
+//! macro, `prop_assert*`/`prop_assume!`, [`strategy::Strategy`] with
+//! `prop_map`, range/tuple/`any` strategies, `prop::collection::vec`,
+//! `prop::array::uniform*`, and `prop::sample::Index`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via `Debug`
+//!   where available) but is not minimized.
+//! * **Deterministic by default.** Each test derives its RNG seed from
+//!   the test name, so runs are reproducible; set `PROPTEST_SEED` to vary.
+//! * **Case count** comes from `PROPTEST_CASES` (default 64 — small
+//!   enough that the whole workspace suite stays fast).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` namespace (`collection`, `array`, `sample`).
+pub mod prop {
+    /// Collection strategies (`vec`).
+    pub mod collection {
+        pub use crate::strategy::collection_vec as vec;
+        pub use crate::strategy::VecStrategy;
+    }
+
+    /// Fixed-size array strategies (`uniform4` … `uniform32`).
+    pub mod array {
+        pub use crate::strategy::array::*;
+    }
+
+    /// Sampling helpers (`Index`).
+    pub mod sample {
+        pub use crate::strategy::Index;
+    }
+}
+
+/// Everything a proptest suite imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Index, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines a block of property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// `#[test]` (the `#[test]` attribute is written by the caller, matched as
+/// a meta, and re-emitted) that runs the body over `PROPTEST_CASES`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            let mut rng = $crate::test_runner::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut ran = 0u32;
+            let mut rejected = 0u32;
+            while ran < cases {
+                if rejected > cases * 32 {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} rejections for {} target cases)",
+                        stringify!($name), rejected, cases
+                    );
+                }
+                // Generation is deterministic, so a pre-generation snapshot
+                // of the RNG lets failure paths re-derive the inputs for the
+                // report; passing cases never pay for Debug-formatting.
+                let rng_snapshot = rng.clone();
+                let render_inputs = |r: &mut $crate::test_runner::TestRng| {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        let v = $crate::strategy::Strategy::generate(&$strat, r);
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&$crate::test_runner::debug_fallback(&v));
+                        s.push_str("; ");
+                    )+
+                    s
+                };
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    // unreachable_code: bodies may end in a panic on purpose.
+                    #[allow(unreachable_code)]
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        ran += 1;
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    )) => {
+                        rejected += 1;
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    )) => {
+                        let mut snap = rng_snapshot;
+                        panic!(
+                            "proptest '{}' failed after {} passing case(s): {}\n  inputs: {}",
+                            stringify!($name), ran, msg, render_inputs(&mut snap)
+                        );
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        let mut snap = rng_snapshot;
+                        panic!(
+                            "proptest '{}' panicked after {} passing case(s): {}\n  inputs: {}",
+                            stringify!($name), ran,
+                            $crate::test_runner::panic_message(&payload),
+                            render_inputs(&mut snap)
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; failures are reported
+/// with the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{}` == `{}`\n  left: {}\n  right: {}",
+            stringify!($a),
+            stringify!($b),
+            $crate::test_runner::debug_fallback(a),
+            $crate::test_runner::debug_fallback(b)
+        );
+    }};
+}
+
+/// Asserts two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{}` != `{}`\n  both: {}",
+            stringify!($a),
+            stringify!($b),
+            $crate::test_runner::debug_fallback(a)
+        );
+    }};
+}
+
+/// Discards the current case (it is regenerated, not counted as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,80 @@
+//! Runner support for the [`proptest!`](crate::proptest) macro: case
+//! counts, per-test deterministic seeding, and the case-level error type.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG driving generation (named so the macro can refer to it).
+pub type TestRng = StdRng;
+
+/// How a single generated case can fail.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` and is regenerated.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Number of cases per property, from `PROPTEST_CASES` (default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// A deterministic RNG for one property test.
+///
+/// The seed is the FNV-1a hash of the fully-qualified test name, XORed
+/// with `PROPTEST_SEED` when set — reproducible by default, steerable
+/// when hunting.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    if let Some(extra) = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        h ^= extra;
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Formats a value for failure reports.
+pub fn debug_fallback<T: std::fmt::Debug>(v: &T) -> String {
+    let s = format!("{v:?}");
+    if s.len() > 400 {
+        let head: String = s.chars().take(400).collect();
+        format!("{}… ({} chars)", head, s.len())
+    } else {
+        s
+    }
+}

@@ -1,0 +1,31 @@
+//! The vendored runner's own contract: failures and panics both report
+//! the generated inputs; `prop_assume!` regenerates instead of failing.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn passing_property(x in 0u8..10, v in prop::collection::vec(any::<u8>(), 0..8)) {
+        prop_assert!(x < 10);
+        prop_assert!(v.len() < 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_property_reports_inputs(x in 5u8..6) {
+        prop_assert!(x != 5, "x is always 5");
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn panicking_body_reports_inputs(x in 0u8..10) {
+        let _ = x;
+        panic!("library assert fired");
+    }
+
+    #[test]
+    fn assume_discards_without_failing(x in 0u8..4) {
+        prop_assume!(x > 0);
+        prop_assert!(x > 0);
+    }
+}
