@@ -123,8 +123,8 @@ impl Node for Eavesdropper {
         if self.recording.is_empty() {
             self.record_start = medium.tick();
         }
-        let block = medium.receive(self.antenna, self.channel);
-        self.recording.extend(block);
+        self.recording
+            .extend_from_slice(medium.receive_view(self.antenna, self.channel));
     }
 }
 

@@ -1,0 +1,272 @@
+//! `perf_report` — the repo's tracked-benchmark harness.
+//!
+//! Times the canonical hot kernels (the `Medium` block step at several
+//! antenna counts, FSK modulation/demodulation, one full relayed exchange,
+//! a quick Fig. 9 run) plus the supporting micro-kernels, and prints a
+//! machine-readable JSON report to stdout (and optionally a file).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_report [--quick] [--out results/BENCH_N.json]
+//! ```
+//!
+//! `--quick` shrinks iteration counts so CI can smoke-test the harness in
+//! seconds; timings from a loaded CI machine are not comparable across
+//! runs, so the checked-in `results/BENCH_*.json` files are produced on a
+//! quiet machine via `scripts/bench.sh`.
+
+use hb_channel::geometry::Placement;
+use hb_channel::medium::{Medium, MediumConfig};
+use hb_dsp::complex::C64;
+use hb_imd::commands::Command;
+use hb_phy::bits::Prbs;
+use hb_phy::fsk::{FskModem, FskParams};
+use hb_phy::stream::StreamingDetector;
+use hb_shield::jamsignal::JamSignal;
+use hb_testbed::experiments::{fig9, relay_one_exchange, Effort};
+use hb_testbed::scenario::{ScenarioBuilder, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One timed kernel: name, iterations, total seconds.
+struct Timing {
+    name: &'static str,
+    iters: u64,
+    seconds: f64,
+    /// What one iteration of the kernel covers (for human readers).
+    unit: &'static str,
+}
+
+impl Timing {
+    fn per_iter_us(&self) -> f64 {
+        self.seconds / self.iters as f64 * 1e6
+    }
+}
+
+/// Times `f` for `iters` iterations after one warm-up iteration.
+fn time_kernel<F: FnMut()>(name: &'static str, unit: &'static str, iters: u64, mut f: F) -> Timing {
+    f(); // warm-up: populate caches/pools so steady state is measured
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    Timing {
+        name,
+        iters,
+        seconds: start.elapsed().as_secs_f64(),
+        unit,
+    }
+}
+
+/// A medium with `n` antennas in a line, all cross links set, `n_tx`
+/// transmitters staging every block.
+fn bench_medium(n: usize, n_tx: usize, blocks: u64) -> Timing {
+    let mut m = Medium::new(MediumConfig::default(), 42);
+    for i in 0..n {
+        m.add_antenna(Placement::los("ant", i as f64 * 0.5, 0.0));
+    }
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                m.set_gain(a, b, C64::new(0.1 / (1.0 + a as f64), 0.05));
+            }
+        }
+    }
+    let burst: Vec<C64> = (0..m.config().block_len)
+        .map(|i| C64::cis(i as f64 * 0.3))
+        .collect();
+    let name = match n {
+        3 => "medium_block_3ant",
+        8 => "medium_block_8ant",
+        _ => "medium_block_16ant",
+    };
+    time_kernel(
+        name,
+        "1 block: stage txs + receive at every antenna + end_block",
+        blocks,
+        move || {
+            for tx in 0..n_tx {
+                m.transmit(tx, 0, &burst);
+            }
+            for rx in 0..n {
+                let y = m.receive(rx, 0);
+                std::hint::black_box(y.last().copied());
+            }
+            m.end_block();
+        },
+    )
+}
+
+/// The repeat-receive (cache-hit) path: the shield, IMD and eavesdropper
+/// all re-reading the same (antenna, channel) within one block. This is
+/// *the* Medium-receive microbench the PR-2 acceptance criterion tracks:
+/// the seed engine cloned the cached `Vec<C64>` on every repeat call;
+/// `receive_view` returns a borrow of the pooled buffer instead.
+fn bench_medium_repeat(blocks: u64) -> Timing {
+    let mut m = Medium::new(MediumConfig::default(), 7);
+    for i in 0..3 {
+        m.add_antenna(Placement::los("ant", i as f64 * 0.5, 0.0));
+    }
+    m.set_gain(0, 2, C64::new(0.3, 0.1));
+    let burst = vec![C64::ONE; m.config().block_len];
+    time_kernel(
+        "medium_receive_cached",
+        "1 block: 1 fresh receive + 255 repeat receives",
+        blocks,
+        move || {
+            m.transmit(0, 0, &burst);
+            for _ in 0..256 {
+                let y = m.receive_view(2, 0);
+                std::hint::black_box(y.first().copied());
+            }
+            m.end_block();
+        },
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let scale: u64 = if quick { 1 } else { 10 };
+
+    // --- Layer 1: the Medium block step ---
+    let mut timings: Vec<Timing> = vec![
+        bench_medium(3, 2, 2_000 * scale),
+        bench_medium(8, 3, 800 * scale),
+        bench_medium(16, 4, 300 * scale),
+        bench_medium_repeat(2_000 * scale),
+    ];
+
+    // --- Layer 2: the FSK modem ---
+    let modem = FskModem::new(FskParams::mics_default());
+    let mut prbs = Prbs::new(0x5A);
+    let bits = prbs.bits(1024);
+    let wave = modem.modulate(&bits);
+    {
+        let modem = modem.clone();
+        let bits = bits.clone();
+        timings.push(time_kernel(
+            "fsk_modulate_1024bits",
+            "modulate 1024 bits (24576 samples)",
+            100 * scale,
+            move || {
+                std::hint::black_box(modem.modulate(&bits).len());
+            },
+        ));
+    }
+    {
+        let modem = modem.clone();
+        let wave = wave.clone();
+        timings.push(time_kernel(
+            "fsk_demodulate_1024bits",
+            "demodulate 24576 samples",
+            100 * scale,
+            move || {
+                std::hint::black_box(modem.demodulate(&wave).len());
+            },
+        ));
+    }
+    {
+        let wave = wave.clone();
+        let mut det = StreamingDetector::new(FskParams::mics_default(), 4);
+        timings.push(time_kernel(
+            "streaming_detector_24k_samples",
+            "push 24576 samples through the 24-phase detector",
+            10 * scale,
+            move || {
+                for block in wave.chunks(16) {
+                    std::hint::black_box(det.push_block(block).len());
+                }
+            },
+        ));
+    }
+    {
+        let mut rng = StdRng::seed_from_u64(3);
+        timings.push(time_kernel(
+            "white_noise_4k",
+            "4096 complex Gaussian samples",
+            100 * scale,
+            move || {
+                std::hint::black_box(hb_dsp::noise::white_noise(&mut rng, 4096, 1.0).len());
+            },
+        ));
+    }
+    {
+        let mut jam = JamSignal::shaped_for_fsk(FskParams::mics_default(), 256);
+        jam.set_power_dbm(-35.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        timings.push(time_kernel(
+            "jam_next_4k",
+            "4096 shaped jamming samples",
+            100 * scale,
+            move || {
+                std::hint::black_box(jam.next_samples(&mut rng, 4096).len());
+            },
+        ));
+    }
+
+    // --- Layer 3: one full relayed exchange and a quick Fig. 9 ---
+    timings.push(time_kernel(
+        "relay_one_exchange",
+        "one 60 ms relayed interrogation (1125 blocks)",
+        3 * scale,
+        || {
+            let mut scenario = ScenarioBuilder::new(ScenarioConfig::paper(9)).build();
+            relay_one_exchange(&mut scenario, &mut [], Command::Interrogate);
+            std::hint::black_box(scenario.shield.as_ref().unwrap().stats.imd_frames_ok);
+        },
+    ));
+    if quick {
+        timings.push(time_kernel(
+            "fig9_one_location",
+            "eavesdropper BER at location 1, 2 packets",
+            1,
+            || {
+                std::hint::black_box(fig9::ber_at_location(1, 2, 3));
+            },
+        ));
+    } else {
+        timings.push(time_kernel(
+            "fig9_quick_run",
+            "full 18-location Fig. 9 sweep at tiny effort",
+            1,
+            || {
+                std::hint::black_box(fig9::run(Effort::tiny(), 1).cdf.median());
+            },
+        ));
+    }
+
+    // --- Report ---
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"threads\": {},\n",
+        hb_testbed::parallel_threads()
+    ));
+    json.push_str("  \"kernels\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"total_s\": {:.6}, \"per_iter_us\": {:.3}, \"unit\": \"{}\"}}{}\n",
+            t.name,
+            t.iters,
+            t.seconds,
+            t.per_iter_us(),
+            t.unit,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

@@ -29,11 +29,10 @@ use crate::fading::Fading;
 use crate::geometry::Placement;
 use crate::pathloss::PathlossModel;
 use hb_dsp::complex::C64;
-use hb_dsp::noise::white_noise;
+use hb_dsp::noise::white_noise_into;
 use hb_dsp::units::ratio_from_db;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Identifies one antenna registered with the medium.
 pub type AntennaId = usize;
@@ -69,13 +68,29 @@ impl Default for MediumConfig {
     }
 }
 
+/// One pooled staging slot: the buffer is `block_len` long and reused
+/// across blocks, so steady-state staging performs no heap allocation.
 struct StagedTx {
     tx: AntennaId,
     channel: usize,
     samples: Vec<C64>,
 }
 
+/// One pooled receive-cache slot for an (antenna, channel) pair.
+#[derive(Default)]
+struct RxSlot {
+    buf: Vec<C64>,
+    /// True once this block's mixture has been computed into `buf`.
+    valid: bool,
+}
+
 /// The shared medium. See the module docs for the model.
+///
+/// Steady-state performance: all per-block state (staged transmissions,
+/// receive caches, scratch buffers) lives in pools that are recycled by
+/// [`Medium::end_block`], the link gains are a dense `n×n` matrix, and the
+/// borrowing receive path ([`Medium::receive_view`]) returns cache views —
+/// a block step performs **zero heap allocations** once the pools are warm.
 pub struct Medium {
     cfg: MediumConfig,
     placements: Vec<Placement>,
@@ -84,14 +99,38 @@ pub struct Medium {
     /// Per-antenna oscillator offset, Hz (transmissions rotate at this
     /// rate relative to the nominal carrier).
     cfo_hz: Vec<f64>,
+    /// True once any antenna has a non-zero oscillator offset (fast-path
+    /// gate for the per-sample rotation).
+    any_cfo: bool,
     /// Impulsive interference: (probability per block, power linear).
     impulse: Option<(f64, f64)>,
-    /// Directed link gains; `(a, b)` is the gain from `a`'s transmitter to
-    /// `b`'s receiver. Reciprocal by construction unless overridden.
-    gains: HashMap<(AntennaId, AntennaId), C64>,
+    /// Directed link gains, dense row-major: `gains[tx * n + rx]` is the
+    /// gain from `tx`'s transmitter to `rx`'s receiver. Reciprocal by
+    /// construction unless overridden.
+    gains: Vec<C64>,
+    /// Whether `gains[i]` was explicitly set or drawn (an explicit zero is
+    /// remembered so [`Medium::build_links`] won't redraw it).
+    gain_set: Vec<bool>,
     block_index: u64,
+    /// Staging pool; the first `staged_len` entries are this block's.
     staged: Vec<StagedTx>,
-    rx_cache: HashMap<(AntennaId, usize), Vec<C64>>,
+    staged_len: usize,
+    /// Per-channel index into `staged`, in staging order.
+    staged_by_channel: Vec<Vec<u32>>,
+    /// Receive cache, dense: slot `rx * n_channels + channel`.
+    rx_slots: Vec<RxSlot>,
+    /// Slots computed this block (cleared cheaply by `end_block`).
+    dirty_slots: Vec<u32>,
+    /// Scratch for the impulse-noise burst.
+    impulse_scratch: Vec<C64>,
+    /// Per-block cache of CFO rotator phasors, keyed by the bit pattern of
+    /// the relative offset `Δf`: every link sharing a `Δf` reuses the same
+    /// per-sample phasors instead of recomputing `C64::cis` per sample.
+    /// Pooled: only the first `cfo_phasors_len` entries are this block's;
+    /// `end_block` rewinds the counter and the buffers are refilled in
+    /// place, so CFO-impaired scenarios stay allocation-free too.
+    cfo_phasors: Vec<(u64, Vec<C64>)>,
+    cfo_phasors_len: usize,
     /// Set once any receive happens in the block; staging is then frozen.
     receiving: bool,
     rng: StdRng,
@@ -106,11 +145,19 @@ impl Medium {
             placements: Vec::new(),
             noise_floor: Vec::new(),
             cfo_hz: Vec::new(),
+            any_cfo: false,
             impulse: None,
-            gains: HashMap::new(),
+            gains: Vec::new(),
+            gain_set: Vec::new(),
             block_index: 0,
             staged: Vec::new(),
-            rx_cache: HashMap::new(),
+            staged_len: 0,
+            staged_by_channel: vec![Vec::new(); cfg.n_channels],
+            rx_slots: Vec::new(),
+            dirty_slots: Vec::new(),
+            impulse_scratch: vec![C64::ZERO; cfg.block_len],
+            cfo_phasors: Vec::new(),
+            cfo_phasors_len: 0,
             receiving: false,
             rng: StdRng::seed_from_u64(seed),
         }
@@ -127,7 +174,22 @@ impl Medium {
         self.noise_floor
             .push(ratio_from_db(self.cfg.noise_floor_dbm));
         self.cfo_hz.push(0.0);
-        self.placements.len() - 1
+        let n = self.placements.len();
+        // Re-stride the dense gain matrix from (n-1)² to n².
+        let mut gains = vec![C64::ZERO; n * n];
+        let mut gain_set = vec![false; n * n];
+        for a in 0..n - 1 {
+            for b in 0..n - 1 {
+                gains[a * n + b] = self.gains[a * (n - 1) + b];
+                gain_set[a * n + b] = self.gain_set[a * (n - 1) + b];
+            }
+        }
+        self.gains = gains;
+        self.gain_set = gain_set;
+        for _ in 0..self.cfg.n_channels {
+            self.rx_slots.push(RxSlot::default());
+        }
+        n - 1
     }
 
     /// Sets an antenna's oscillator offset, Hz. Its transmissions rotate
@@ -137,13 +199,16 @@ impl Medium {
     /// between its RF chain and the IMD's).
     pub fn set_cfo_hz(&mut self, a: AntennaId, hz: f64) {
         self.cfo_hz[a] = hz;
+        self.any_cfo = self.cfo_hz.iter().any(|&f| f != 0.0);
     }
 
-    /// Enables impulsive interference: with probability `prob` per block,
-    /// a receiver sees an extra white burst at `power_dbm` for that block
-    /// (drawn independently per receiver) — a fault-injection hook for
-    /// robustness experiments (microwave ovens, ISM neighbours, and other
-    /// non-Gaussian RF life).
+    /// Enables impulsive interference: with probability `prob`, a receiver
+    /// sees an extra white burst at `power_dbm` for one block. The burst
+    /// decision is drawn **independently per (receiver, channel, block)**
+    /// — impulsive interference is a local phenomenon (a microwave oven
+    /// near one antenna, an ISM neighbour near another), so no two
+    /// receivers share a burst. A fault-injection hook for robustness
+    /// experiments.
     pub fn set_impulse_noise(&mut self, prob: f64, power_dbm: f64) {
         assert!((0.0..=1.0).contains(&prob));
         self.impulse = Some((prob, ratio_from_db(power_dbm)));
@@ -177,7 +242,7 @@ impl Medium {
         let n = self.placements.len();
         for a in 0..n {
             for b in (a + 1)..n {
-                if self.gains.contains_key(&(a, b)) || self.gains.contains_key(&(b, a)) {
+                if self.gain_set[a * n + b] || self.gain_set[b * n + a] {
                     continue;
                 }
                 let loss_db = model.link_loss_db_shadowed(
@@ -187,8 +252,8 @@ impl Medium {
                 );
                 let amplitude = ratio_from_db(-loss_db).sqrt();
                 let gain = fading.draw(&mut self.rng).scale(amplitude);
-                self.gains.insert((a, b), gain);
-                self.gains.insert((b, a), gain);
+                self.set_gain(a, b, gain);
+                self.set_gain(b, a, gain);
             }
         }
     }
@@ -196,12 +261,17 @@ impl Medium {
     /// Sets a directed link gain explicitly (used for the shield's wired
     /// self-loop `Hself` and the jam→receive antenna coupling `Hjam→rec`).
     pub fn set_gain(&mut self, tx: AntennaId, rx: AntennaId, gain: C64) {
-        self.gains.insert((tx, rx), gain);
+        let n = self.placements.len();
+        assert!(tx < n && rx < n, "unknown antenna pair ({tx}, {rx})");
+        self.gains[tx * n + rx] = gain;
+        self.gain_set[tx * n + rx] = true;
     }
 
     /// The current gain from `tx` to `rx` (zero if no link).
     pub fn gain(&self, tx: AntennaId, rx: AntennaId) -> C64 {
-        self.gains.get(&(tx, rx)).copied().unwrap_or(C64::ZERO)
+        let n = self.placements.len();
+        assert!(tx < n && rx < n, "unknown antenna pair ({tx}, {rx})");
+        self.gains[tx * n + rx]
     }
 
     /// Current block index.
@@ -248,88 +318,148 @@ impl Medium {
             self.cfg.block_len
         );
         assert!(tx < self.placements.len(), "unknown antenna {tx}");
-        let mut buf = samples.to_vec();
-        buf.resize(self.cfg.block_len, C64::ZERO);
-        self.staged.push(StagedTx {
-            tx,
-            channel,
-            samples: buf,
-        });
+        let idx = self.staged_len;
+        if idx == self.staged.len() {
+            self.staged.push(StagedTx {
+                tx,
+                channel,
+                samples: vec![C64::ZERO; self.cfg.block_len],
+            });
+        }
+        let slot = &mut self.staged[idx];
+        slot.tx = tx;
+        slot.channel = channel;
+        slot.samples[..samples.len()].copy_from_slice(samples);
+        slot.samples[samples.len()..].fill(C64::ZERO);
+        self.staged_by_channel[channel].push(idx as u32);
+        self.staged_len = idx + 1;
     }
 
     /// Receives the current block at an antenna on a channel: the
     /// gain-weighted sum of all staged transmissions plus receiver noise.
     /// Idempotent within a block (the same noise is returned on repeat
     /// calls). Freezes staging for the rest of the block.
+    ///
+    /// Allocating compatibility wrapper around [`Medium::receive_view`];
+    /// hot paths should use the view (or copy out of it) instead.
     pub fn receive(&mut self, rx: AntennaId, channel: usize) -> Vec<C64> {
+        self.receive_view(rx, channel).to_vec()
+    }
+
+    /// Borrowing receive: identical semantics to [`Medium::receive`], but
+    /// returns a view into the block's pooled receive cache. The first call
+    /// for an (antenna, channel) computes the mixture in place; repeat
+    /// calls within the block return the same buffer without copying. Zero
+    /// heap allocations in steady state.
+    pub fn receive_view(&mut self, rx: AntennaId, channel: usize) -> &[C64] {
         assert!(
             channel < self.cfg.n_channels,
             "channel {channel} out of range"
         );
         assert!(rx < self.placements.len(), "unknown antenna {rx}");
         self.receiving = true;
-        if let Some(cached) = self.rx_cache.get(&(rx, channel)) {
-            return cached.clone();
+        let n = self.placements.len();
+        let block_len = self.cfg.block_len;
+        let slot_idx = rx * self.cfg.n_channels + channel;
+        if self.rx_slots[slot_idx].valid {
+            return &self.rx_slots[slot_idx].buf;
         }
-        let mut buf = white_noise(&mut self.rng, self.cfg.block_len, self.noise_floor[rx]);
-        // Impulsive interference (if enabled) hits all receivers alike;
-        // draw once per (block, channel) via a cached decision keyed into
-        // the rng stream deterministically.
+        let slot = &mut self.rx_slots[slot_idx];
+        slot.buf.resize(block_len, C64::ZERO);
+        let buf = &mut slot.buf[..];
+        white_noise_into(&mut self.rng, buf, self.noise_floor[rx]);
+        // Impulsive interference: an independent draw per (receiver,
+        // channel, block) — see `set_impulse_noise`.
         if let Some((prob, power)) = self.impulse {
             if self.rng.gen::<f64>() < prob {
-                for (v, n) in
-                    buf.iter_mut()
-                        .zip(white_noise(&mut self.rng, self.cfg.block_len, power))
-                {
+                white_noise_into(&mut self.rng, &mut self.impulse_scratch, power);
+                for (v, &n) in buf.iter_mut().zip(self.impulse_scratch.iter()) {
                     *v += n;
                 }
             }
         }
-        let block_start = self.tick();
-        for tx in self.staged.iter().filter(|t| t.channel == channel) {
-            let g = self.gains.get(&(tx.tx, rx)).copied().unwrap_or(C64::ZERO);
+        let block_start = self.block_index * block_len as u64;
+        for &staged_idx in &self.staged_by_channel[channel] {
+            let tx = &self.staged[staged_idx as usize];
+            let g = self.gains[tx.tx * n + rx];
             if g == C64::ZERO {
                 continue;
             }
             // Relative oscillator rotation between transmitter and receiver.
-            let dcfo = self.cfo_hz[tx.tx] - self.cfo_hz[rx];
+            let dcfo = if self.any_cfo {
+                self.cfo_hz[tx.tx] - self.cfo_hz[rx]
+            } else {
+                0.0
+            };
             if dcfo == 0.0 {
-                for (i, &s) in tx.samples.iter().enumerate() {
-                    buf[i] += s * g;
+                for (v, &s) in buf.iter_mut().zip(tx.samples.iter()) {
+                    *v += s * g;
                 }
             } else {
-                let w = std::f64::consts::TAU * dcfo / self.cfg.fs_hz;
-                for (i, &s) in tx.samples.iter().enumerate() {
-                    let phase = w * (block_start + i as u64) as f64;
-                    buf[i] += s * g * C64::cis(phase);
+                // Per-block rotator phasors, shared by every link with the
+                // same relative offset (bit-exact with the direct
+                // per-sample `C64::cis` evaluation it replaces).
+                let key = dcfo.to_bits();
+                let cached = self.cfo_phasors[..self.cfo_phasors_len]
+                    .iter()
+                    .position(|(k, _)| *k == key);
+                let pos = match cached {
+                    Some(p) => p,
+                    None => {
+                        let w = std::f64::consts::TAU * dcfo / self.cfg.fs_hz;
+                        if self.cfo_phasors_len == self.cfo_phasors.len() {
+                            self.cfo_phasors.push((key, Vec::new()));
+                        }
+                        let entry = &mut self.cfo_phasors[self.cfo_phasors_len];
+                        entry.0 = key;
+                        entry.1.clear();
+                        entry.1.extend(
+                            (0..block_len).map(|i| C64::cis(w * (block_start + i as u64) as f64)),
+                        );
+                        self.cfo_phasors_len += 1;
+                        self.cfo_phasors_len - 1
+                    }
+                };
+                let phasors = &self.cfo_phasors[pos].1;
+                for ((v, &s), &r) in buf.iter_mut().zip(tx.samples.iter()).zip(phasors.iter()) {
+                    *v += s * g * r;
                 }
             }
         }
-        self.rx_cache.insert((rx, channel), buf.clone());
-        buf
+        slot.valid = true;
+        self.dirty_slots.push(slot_idx as u32);
+        &self.rx_slots[slot_idx].buf
     }
 
     /// True if any transmission is staged on `channel` this block
     /// (omniscient view — used by tests and by the observer harness, not by
     /// in-world devices).
     pub fn channel_active(&self, channel: usize) -> bool {
-        self.staged.iter().any(|t| t.channel == channel)
+        !self.staged_by_channel[channel].is_empty()
     }
 
     /// Total staged transmit power on a channel this block (omniscient
     /// debugging/observer view).
     pub fn staged_power(&self, channel: usize) -> f64 {
-        self.staged
+        self.staged_by_channel[channel]
             .iter()
-            .filter(|t| t.channel == channel)
-            .map(|t| hb_dsp::complex::mean_power(&t.samples))
+            .map(|&i| hb_dsp::complex::mean_power(&self.staged[i as usize].samples))
             .sum()
     }
 
-    /// Finishes the block: clears staging and caches, advances time.
+    /// Finishes the block: recycles the staging and receive-cache pools,
+    /// advances time. No heap is released — the pools are reused by the
+    /// next block.
     pub fn end_block(&mut self) {
-        self.staged.clear();
-        self.rx_cache.clear();
+        self.staged_len = 0;
+        for list in self.staged_by_channel.iter_mut() {
+            list.clear();
+        }
+        for &slot in &self.dirty_slots {
+            self.rx_slots[slot as usize].valid = false;
+        }
+        self.dirty_slots.clear();
+        self.cfo_phasors_len = 0;
         self.receiving = false;
         self.block_index += 1;
     }
@@ -559,6 +689,57 @@ mod tests {
         }
         let rate = hot_blocks as f64 / blocks as f64;
         assert!((rate - 0.25).abs() < 0.05, "impulse rate {rate}");
+    }
+
+    #[test]
+    fn impulse_noise_is_independent_per_receiver() {
+        // Two receivers, same block: burst decisions are drawn per
+        // (receiver, channel, block), so within one block one antenna can
+        // be hit while the other is quiet. Pin that: over many blocks all
+        // four hit/quiet combinations must occur.
+        let mut m = Medium::new(
+            MediumConfig {
+                noise_floor_dbm: -112.0,
+                ..Default::default()
+            },
+            31,
+        );
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        m.set_impulse_noise(0.5, -60.0);
+        let hot = |y: &[C64]| mean_power(y) > ratio_from_db(-70.0);
+        let mut combos = [0usize; 4];
+        for _ in 0..400 {
+            let ha = hot(&m.receive(a, 0));
+            let hb = hot(&m.receive(b, 0));
+            combos[usize::from(ha) * 2 + usize::from(hb)] += 1;
+            m.end_block();
+        }
+        assert!(
+            combos.iter().all(|&c| c > 0),
+            "all hit/quiet combinations must occur (independent draws): {combos:?}"
+        );
+        // And the marginal rate at each antenna tracks the probability.
+        let rate_a = (combos[2] + combos[3]) as f64 / 400.0;
+        let rate_b = (combos[1] + combos[3]) as f64 / 400.0;
+        assert!((rate_a - 0.5).abs() < 0.1, "rate at a: {rate_a}");
+        assert!((rate_b - 0.5).abs() < 0.1, "rate at b: {rate_b}");
+    }
+
+    #[test]
+    fn repeat_receive_borrows_the_same_buffer() {
+        // The cache-hit path must not copy: both views alias the same
+        // pooled slot.
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        m.transmit(a, 0, &[C64::ONE; 16]);
+        let p1 = m.receive_view(a, 0).as_ptr();
+        let p2 = m.receive_view(a, 0).as_ptr();
+        assert_eq!(p1, p2, "repeat receive must return the cached buffer");
+        m.end_block();
+        // Next block recycles the same pooled allocation.
+        let p3 = m.receive_view(a, 0).as_ptr();
+        assert_eq!(p1, p3, "pool must be recycled across blocks");
     }
 
     #[test]

@@ -8,7 +8,6 @@
 
 use crate::medium::{AntennaId, Medium, Tick};
 use hb_dsp::complex::C64;
-use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 struct Scheduled {
@@ -21,12 +20,19 @@ struct Scheduled {
 #[derive(Debug, Clone, Default)]
 pub struct TxScheduler {
     queue: Vec<Scheduled>,
+    /// Pooled per-channel mix buffers for [`TxScheduler::produce`]; the
+    /// first `scratch_len` entries are live this block. Reused across
+    /// blocks so steady-state production does not allocate, and iterated
+    /// in claim order so multi-channel staging is deterministic (the
+    /// `HashMap` this replaces iterated in a per-process random order).
+    scratch: Vec<(usize, Vec<C64>)>,
+    scratch_len: usize,
 }
 
 impl TxScheduler {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
-        TxScheduler { queue: Vec::new() }
+        TxScheduler::default()
     }
 
     /// Schedules `samples` to start at `start_tick` (absolute sample time)
@@ -76,15 +82,31 @@ impl TxScheduler {
         let block_start = medium.tick();
         let block_end = block_start + block_len;
 
-        let mut per_channel: HashMap<usize, Vec<C64>> = HashMap::new();
+        self.scratch_len = 0;
         for s in &self.queue {
             let s_end = s.start_tick + s.samples.len() as Tick;
             if s.start_tick >= block_end || s_end <= block_start {
                 continue;
             }
-            let buf = per_channel
-                .entry(s.channel)
-                .or_insert_with(|| vec![C64::ZERO; block_len as usize]);
+            // Claim (or find) this channel's pooled mix buffer.
+            let idx = match self.scratch[..self.scratch_len]
+                .iter()
+                .position(|(ch, _)| *ch == s.channel)
+            {
+                Some(i) => i,
+                None => {
+                    if self.scratch_len == self.scratch.len() {
+                        self.scratch.push((s.channel, Vec::new()));
+                    }
+                    let entry = &mut self.scratch[self.scratch_len];
+                    entry.0 = s.channel;
+                    entry.1.clear();
+                    entry.1.resize(block_len as usize, C64::ZERO);
+                    self.scratch_len += 1;
+                    self.scratch_len - 1
+                }
+            };
+            let buf = &mut self.scratch[idx].1;
             let from = block_start.max(s.start_tick);
             let to = block_end.min(s_end);
             for t in from..to {
@@ -95,9 +117,9 @@ impl TxScheduler {
         self.queue
             .retain(|s| s.start_tick + s.samples.len() as Tick > block_end);
 
-        let any = !per_channel.is_empty();
-        for (channel, buf) in per_channel {
-            medium.transmit(antenna, channel, &buf);
+        let any = self.scratch_len > 0;
+        for (channel, buf) in &self.scratch[..self.scratch_len] {
+            medium.transmit(antenna, *channel, buf);
         }
         any
     }

@@ -124,8 +124,20 @@ impl FullDuplex {
     /// Computes the antidote waveform for a jamming (or own-transmission)
     /// waveform.
     pub fn antidote(&self, j: &[C64]) -> Vec<C64> {
+        let mut out = vec![C64::ZERO; j.len()];
+        self.antidote_into(j, &mut out);
+        out
+    }
+
+    /// Computes the antidote waveform into `out` (resized to `j.len()`),
+    /// reusing the buffer's allocation — the form the shield's per-block
+    /// hot loop uses.
+    pub fn antidote_into(&self, j: &[C64], out: &mut Vec<C64>) {
         let k = self.antidote_coeff();
-        j.iter().map(|&s| s * k).collect()
+        out.resize(j.len(), C64::ZERO);
+        for (dst, &s) in out.iter_mut().zip(j.iter()) {
+            *dst = s * k;
+        }
     }
 
     /// The residual coupling seen by the receive chain per unit of jamming

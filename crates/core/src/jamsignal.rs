@@ -38,7 +38,33 @@ pub fn fsk_power_profile(params: FskParams, fft_size: usize) -> Vec<f64> {
 /// profile would park all residual power inside its matched filter,
 /// costing ~8 dB of SINR versus the smooth profile (see the
 /// `smooth_profile_protects_the_shields_own_decoder` test).
+///
+/// The profile is a pure function of `(params, fft_size)` but costs a
+/// 4000-bit modulation plus a Welch PSD to derive, and every
+/// `Shield::install` needs it — so results are memoized process-wide.
+/// Experiments that rebuild a scenario per (location, repetition) hit the
+/// cache after the first build.
 pub fn jam_profile_for_fsk(params: FskParams, fft_size: usize) -> Vec<f64> {
+    use std::sync::{Mutex, OnceLock};
+    type Key = (u64, u64, u64, usize);
+    type Cache = Mutex<Vec<(Key, Vec<f64>)>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let key: Key = (
+        params.fs_hz.to_bits(),
+        params.bitrate.to_bits(),
+        params.deviation_hz.to_bits(),
+        fft_size,
+    );
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    if let Some((_, profile)) = cache.lock().unwrap().iter().find(|(k, _)| *k == key) {
+        return profile.clone();
+    }
+    let profile = jam_profile_for_fsk_uncached(params, fft_size);
+    cache.lock().unwrap().push((key, profile.clone()));
+    profile
+}
+
+fn jam_profile_for_fsk_uncached(params: FskParams, fft_size: usize) -> Vec<f64> {
     let raw = fsk_power_profile(params, fft_size);
     let n = raw.len();
     // Circular boxcar smoothing over ~30 kHz.
@@ -104,21 +130,32 @@ impl JamSignal {
 
     /// Produces the next `n` samples of jamming waveform.
     pub fn next_samples<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<C64> {
-        let mut out = Vec::with_capacity(n);
-        while out.len() < n {
+        let mut out = vec![C64::ZERO; n];
+        self.next_samples_into(rng, &mut out);
+        out
+    }
+
+    /// Fills `out` with the next samples of jamming waveform — identical
+    /// RNG consumption and output to [`JamSignal::next_samples`] of the
+    /// same length, without the per-block allocation (the shield calls
+    /// this once per simulation block on a pooled scratch buffer).
+    pub fn next_samples_into<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [C64]) {
+        let mut filled = 0usize;
+        while filled < out.len() {
             if self.buffer_pos >= self.buffer.len() {
-                self.buffer = self.gen.block(rng);
+                self.gen.block_into(rng, &mut self.buffer);
                 self.buffer_pos = 0;
             }
-            let take = (n - out.len()).min(self.buffer.len() - self.buffer_pos);
-            out.extend(
-                self.buffer[self.buffer_pos..self.buffer_pos + take]
-                    .iter()
-                    .map(|&s| s.scale(self.amplitude)),
-            );
+            let take = (out.len() - filled).min(self.buffer.len() - self.buffer_pos);
+            for (dst, &src) in out[filled..filled + take]
+                .iter_mut()
+                .zip(self.buffer[self.buffer_pos..self.buffer_pos + take].iter())
+            {
+                *dst = src.scale(self.amplitude);
+            }
             self.buffer_pos += take;
+            filled += take;
         }
-        out
     }
 
     /// The normalized per-bin power profile this jammer emits (for the

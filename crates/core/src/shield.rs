@@ -35,7 +35,7 @@ use hb_phy::rssi::EnergyDetector;
 use hb_phy::stream::{DetectorEvent, SidMonitor, StreamingDetector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Turn-around time model: how long after a jammed signal ends the shield
 /// keeps transmitting (Table 2 measures 270 ± 23 µs for the software
@@ -270,12 +270,24 @@ pub struct Shield {
     own_tx: Option<OwnTx>,
     /// Passive jam window on the session channel: (start, end).
     passive_window: Option<(Tick, Tick)>,
-    active: HashMap<usize, ActiveJam>,
+    /// Active jams by channel. Ordered map: iteration order drives jam
+    /// emission and turn-around RNG draws, so it must be deterministic
+    /// across runs (a `HashMap`'s randomized order would leak into the
+    /// simulation's RNG stream whenever two channels are jammed at once).
+    active: BTreeMap<usize, ActiveJam>,
     next_probe_tick: Tick,
     imd_rx_dbm: f64,
     pending_commands: VecDeque<Command>,
     decoded_responses: Vec<Response>,
     sealed_responses: Vec<Vec<u8>>,
+    /// Pooled scratch: one block of jamming waveform.
+    scratch_jam: Vec<C64>,
+    /// Pooled scratch: the matching antidote block.
+    scratch_antidote: Vec<C64>,
+    /// Pooled scratch: a silence block for detector clock alignment.
+    scratch_silence: Vec<C64>,
+    /// Pooled scratch: this block's (channel, jam power) emissions.
+    scratch_jam_channels: Vec<(usize, f64)>,
     rng: StdRng,
     /// Aggregate counters.
     pub stats: ShieldStats,
@@ -329,12 +341,16 @@ impl Shield {
             session: SecureSession::shield_side(cfg.session_key),
             own_tx: None,
             passive_window: None,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             next_probe_tick: (probe_interval * cfg.fsk.fs_hz) as Tick,
             imd_rx_dbm,
             pending_commands: VecDeque::new(),
             decoded_responses: Vec::new(),
             sealed_responses: Vec::new(),
+            scratch_jam: Vec::new(),
+            scratch_antidote: Vec::new(),
+            scratch_silence: Vec::new(),
+            scratch_jam_channels: Vec::new(),
             rng,
             stats,
             events: Vec::new(),
@@ -560,7 +576,8 @@ impl Node for Shield {
             let end = (offset + block_len).min(own.samples.len());
             let slice = &own.samples[offset..end];
             medium.transmit(self.jam_ant, own.channel, slice);
-            medium.transmit(self.rx_ant, own.channel, &self.fd.antidote(slice));
+            self.fd.antidote_into(slice, &mut self.scratch_antidote);
+            medium.transmit(self.rx_ant, own.channel, &self.scratch_antidote);
             if end == own.samples.len() {
                 let end_tick = own.start_tick + own.samples.len() as Tick;
                 completed_tx = Some((end_tick, own.channel));
@@ -592,7 +609,8 @@ impl Node for Shield {
         }
 
         // Jam emission: passive window (session channel) and active jams.
-        let mut jam_channels: Vec<(usize, f64)> = Vec::new();
+        let mut jam_channels = std::mem::take(&mut self.scratch_jam_channels);
+        jam_channels.clear();
         if let Some((s, e)) = self.passive_window {
             if tick >= s && tick < e {
                 jam_channels.push((self.cfg.session_channel, self.passive_jam_tx_dbm()));
@@ -612,12 +630,17 @@ impl Node for Shield {
                 None => jam_channels.push((ch, self.cfg.active_jam_power_dbm)),
             }
         }
-        for (ch, power_dbm) in jam_channels {
+        for &(ch, power_dbm) in &jam_channels {
             self.jam.set_power_dbm(power_dbm);
-            let j = self.jam.next_samples(&mut self.rng, block_len);
-            medium.transmit(self.rx_ant, ch, &self.fd.antidote(&j));
-            medium.transmit(self.jam_ant, ch, &j);
+            self.scratch_jam.resize(block_len, C64::ZERO);
+            self.jam
+                .next_samples_into(&mut self.rng, &mut self.scratch_jam);
+            self.fd
+                .antidote_into(&self.scratch_jam, &mut self.scratch_antidote);
+            medium.transmit(self.rx_ant, ch, &self.scratch_antidote);
+            medium.transmit(self.jam_ant, ch, &self.scratch_jam);
         }
+        self.scratch_jam_channels = jam_channels;
     }
 
     fn consume(&mut self, medium: &mut Medium) {
@@ -625,13 +648,13 @@ impl Node for Shield {
         let block_len = medium.config().block_len as u64;
 
         // --- Session channel ---
-        let rx = medium.receive(self.rx_ant, self.cfg.session_channel);
+        let rx = medium.receive_view(self.rx_ant, self.cfg.session_channel);
 
         if let Some(own_channel) = self.own_tx.as_ref().map(|o| o.channel) {
             // Guarding our own transmission: anything loud concurrent with
             // it means an adversary is trying to overwrite our message.
             let expected = self.expected_residual_dbm(self.cfg.command_tx_power_dbm);
-            let measured = db_from_ratio(mean_power(&rx).max(1e-30));
+            let measured = db_from_ratio(mean_power(rx).max(1e-30));
             let threshold = expected.max(self.cfg.squelch_dbm) + self.cfg.idle_margin_db;
             if measured > threshold {
                 self.own_tx = None; // abort: switch from transmission to jamming
@@ -653,12 +676,13 @@ impl Node for Shield {
                 self.engage_active_jam(own_channel, tick, high, JamReason::Concurrent);
             }
             // Keep detector clocks aligned while transmitting.
-            self.frame_detector.push_block(&vec![C64::ZERO; rx.len()]);
+            self.scratch_silence.resize(block_len as usize, C64::ZERO);
+            self.frame_detector.push_block(&self.scratch_silence);
             self.sid_monitors[self.cfg.session_channel].advance_silent(block_len);
         } else {
             // Decode IMD traffic (works while jamming, thanks to the
             // antidote).
-            for e in self.frame_detector.push_block(&rx) {
+            for e in self.frame_detector.push_block(rx) {
                 self.on_session_frame(e, tick);
             }
             // Sid monitoring on the session channel — but not inside the
@@ -668,9 +692,10 @@ impl Node for Shield {
                 .passive_window
                 .map(|(s, e)| tick >= s && tick < e)
                 .unwrap_or(false);
+            let rx = medium.receive_view(self.rx_ant, self.cfg.session_channel);
             if in_passive {
                 self.sid_monitors[self.cfg.session_channel].advance_silent(block_len);
-            } else if let Some(det) = self.sid_monitors[self.cfg.session_channel].push_block(&rx) {
+            } else if let Some(det) = self.sid_monitors[self.cfg.session_channel].push_block(rx) {
                 let rssi = db_from_ratio(det.mean_power.max(1e-30));
                 self.stats.sid_detections += 1;
                 self.log(
@@ -700,16 +725,16 @@ impl Node for Shield {
             if ch == self.cfg.session_channel {
                 continue;
             }
-            let rx_c = medium.receive(self.rx_ant, ch);
+            let rx_c = medium.receive_view(self.rx_ant, ch);
             let jamming_here = self.active.contains_key(&ch);
-            let busy_level = db_from_ratio(mean_power(&rx_c).max(1e-30));
-            let squelch_open = self.squelch[ch].push_block(&rx_c)
+            let busy_level = db_from_ratio(mean_power(rx_c).max(1e-30));
+            let squelch_open = self.squelch[ch].push_block(rx_c)
                 || (jamming_here
                     && busy_level
                         > self.expected_residual_dbm(self.cfg.active_jam_power_dbm)
                             + self.cfg.idle_margin_db);
             if squelch_open && !jamming_here {
-                if let Some(det) = self.sid_monitors[ch].push_block(&rx_c) {
+                if let Some(det) = self.sid_monitors[ch].push_block(rx_c) {
                     let rssi = db_from_ratio(det.mean_power.max(1e-30));
                     self.stats.sid_detections += 1;
                     self.log(
@@ -742,8 +767,8 @@ impl Node for Shield {
         let mut finished: Vec<usize> = Vec::new();
         let channels: Vec<usize> = self.active.keys().copied().collect();
         for ch in channels {
-            let rx_c = medium.receive(self.rx_ant, ch);
-            let level = db_from_ratio(mean_power(&rx_c).max(1e-30));
+            let rx_c = medium.receive_view(self.rx_ant, ch);
+            let level = db_from_ratio(mean_power(rx_c).max(1e-30));
             let busy_threshold = self
                 .expected_residual_dbm(self.cfg.active_jam_power_dbm)
                 .max(self.cfg.squelch_dbm)

@@ -40,7 +40,19 @@ pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> C64 {
 /// Generates `n` samples of white complex Gaussian noise with average power
 /// `power` (linear).
 pub fn white_noise<R: Rng + ?Sized>(rng: &mut R, n: usize, power: f64) -> Vec<C64> {
-    (0..n).map(|_| complex_gaussian(rng, power)).collect()
+    let mut out = vec![C64::ZERO; n];
+    white_noise_into(rng, &mut out, power);
+    out
+}
+
+/// Fills `out` with white complex Gaussian noise with average power `power`
+/// (linear). Identical RNG consumption and output to [`white_noise`] of the
+/// same length — this is the allocation-free form the simulation hot loop
+/// uses on its pooled buffers.
+pub fn white_noise_into<R: Rng + ?Sized>(rng: &mut R, out: &mut [C64], power: f64) {
+    for s in out.iter_mut() {
+        *s = complex_gaussian(rng, power);
+    }
 }
 
 /// A generator of random noise whose power spectral density follows a caller
@@ -104,13 +116,20 @@ impl ShapedNoise {
     /// Generates one block of shaped noise with unit average power
     /// (in expectation).
     pub fn block<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<C64> {
-        let mut spec: Vec<C64> = self
-            .bin_scale
-            .iter()
-            .map(|&s| complex_gaussian(rng, s * s))
-            .collect();
-        self.plan.inverse(&mut spec);
-        spec
+        let mut out = Vec::new();
+        self.block_into(rng, &mut out);
+        out
+    }
+
+    /// Generates one block of shaped noise into `out` (resized to
+    /// [`ShapedNoise::block_len`]). Identical RNG consumption and output to
+    /// [`ShapedNoise::block`], reusing the buffer's allocation.
+    pub fn block_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<C64>) {
+        out.resize(self.bin_scale.len(), C64::ZERO);
+        for (v, &s) in out.iter_mut().zip(self.bin_scale.iter()) {
+            *v = complex_gaussian(rng, s * s);
+        }
+        self.plan.inverse(out);
     }
 
     /// Generates at least `n` samples by concatenating blocks, then truncates

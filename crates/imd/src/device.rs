@@ -66,6 +66,8 @@ pub struct ImdDevice {
     patient: PatientRecord,
     battery: Battery,
     seq: u8,
+    /// Reusable silence block fed to the detector while transmitting.
+    silence: Vec<C64>,
     rng: StdRng,
     /// Public experiment counters.
     pub stats: ImdStats,
@@ -90,6 +92,7 @@ impl ImdDevice {
             patient: PatientRecord::demo(),
             battery: Battery::typical_icd(),
             seq: 0,
+            silence: Vec::new(),
             rng,
             stats: ImdStats::default(),
             tx_log: Vec::new(),
@@ -233,12 +236,15 @@ impl Node for ImdDevice {
         // nothing usable. Feed silence so the detector's sample clock stays
         // aligned with the medium.
         let busy = self.tx.busy_at(medium.tick());
-        let block = if busy {
-            vec![C64::ZERO; medium.config().block_len]
+        let events = if busy {
+            if self.silence.len() != medium.config().block_len {
+                self.silence = vec![C64::ZERO; medium.config().block_len];
+            }
+            self.detector.push_block(&self.silence)
         } else {
-            medium.receive(self.antenna, self.cfg.channel)
+            self.detector
+                .push_block(medium.receive_view(self.antenna, self.cfg.channel))
         };
-        let events = self.detector.push_block(&block);
         for e in events {
             self.on_frame(e);
         }

@@ -65,6 +65,8 @@ pub struct Programmer {
     /// Seconds of continuous quiet observed (for LBT).
     quiet_s: f64,
     seq: u8,
+    /// Reusable silence block fed to the detector while transmitting.
+    silence: Vec<hb_dsp::C64>,
     /// Responses received, in arrival order.
     pub inbox: Vec<ReceivedResponse>,
     /// Commands transmitted (count).
@@ -86,6 +88,7 @@ impl Programmer {
             cca,
             quiet_s: 0.0,
             seq: 0,
+            silence: Vec::new(),
             inbox: Vec::new(),
             commands_sent: 0,
         }
@@ -151,21 +154,24 @@ impl Node for Programmer {
 
     fn consume(&mut self, medium: &mut Medium) {
         let block_len = medium.config().block_len;
+        let block_s = block_len as f64 / medium.config().fs_hz;
         let busy_tx = self.tx.busy_at(medium.tick());
-        let block = if busy_tx {
-            vec![hb_dsp::C64::ZERO; block_len]
+        let block: &[hb_dsp::C64] = if busy_tx {
+            if self.silence.len() != block_len {
+                self.silence = vec![hb_dsp::C64::ZERO; block_len];
+            }
+            &self.silence
         } else {
-            medium.receive(self.antenna, self.cfg.channel)
+            medium.receive_view(self.antenna, self.cfg.channel)
         };
         // LBT bookkeeping.
-        let block_s = block_len as f64 / medium.config().fs_hz;
-        if self.cca.push_block(&block) || busy_tx {
+        if self.cca.push_block(block) || busy_tx {
             self.quiet_s = 0.0;
         } else {
             self.quiet_s += block_s;
         }
         // Frame reception.
-        for e in self.detector.push_block(&block) {
+        for e in self.detector.push_block(block) {
             if let DetectorEvent::FrameDone {
                 result: Ok(frame),
                 end_tick,

@@ -68,6 +68,18 @@ impl FskParams {
 }
 
 /// Phase-continuous binary FSK modulator/demodulator.
+///
+/// Performance notes: demodulation (the hot direction — every detector
+/// instance runs it continuously) pays **no trig per sample**; the
+/// per-tone correlation phasors are precomputed one symbol deep at
+/// construction. Modulation keeps the direct `cis(phase)` accumulator: a
+/// recurrence rotator (`r *= step`) diverges from it in the last ulp
+/// within a few samples, and the accumulator's wrap at ±π drifts by ulps
+/// so its phase set never closes into a finite table — either "fast" form
+/// would change the emitted waveform bit pattern and break the golden
+/// determinism tests that pin experiment outputs across refactors.
+/// Profiling puts modulation under 1% of a relayed exchange, so exactness
+/// wins.
 #[derive(Debug, Clone)]
 pub struct FskModem {
     params: FskParams,
@@ -274,6 +286,53 @@ mod tests {
         for w in sig.windows(2) {
             let d = (w[1] * w[0].conj()).arg().abs();
             assert!(d <= max_step, "phase jump {d}");
+        }
+    }
+
+    #[test]
+    fn modulation_matches_reference_accumulator_bit_for_bit() {
+        // Pin the exact waveform bit pattern: any "optimized" modulation
+        // path must reproduce the reference accumulator f64-for-f64, or
+        // the golden determinism tests downstream lose their anchor.
+        let reference = |params: FskParams, bits: &[u8]| -> Vec<C64> {
+            let sps = params.samples_per_symbol();
+            let mut out = Vec::with_capacity(bits.len() * sps);
+            let mut phase = 0.0f64;
+            for &bit in bits {
+                let dphi = 2.0 * PI * params.tone_hz(bit) / params.fs_hz;
+                for _ in 0..sps {
+                    out.push(C64::cis(phase));
+                    phase += dphi;
+                    if phase > PI {
+                        phase -= 2.0 * PI;
+                    } else if phase < -PI {
+                        phase += 2.0 * PI;
+                    }
+                }
+            }
+            out
+        };
+        let mut prbs = Prbs::new(0x6B);
+        let bits = prbs.bits(3000);
+        for params in [
+            FskParams::mics_default(),
+            FskParams {
+                fs_hz: 300e3,
+                bitrate: 12.5e3,
+                deviation_hz: 12_347.0,
+            },
+        ] {
+            let m = FskModem::new(params);
+            let fast = m.modulate(&bits);
+            let direct = reference(params, &bits);
+            assert_eq!(fast.len(), direct.len());
+            for (i, (a, b)) in fast.iter().zip(direct.iter()).enumerate() {
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "sample {i} differs: {a} vs {b} (deviation {})",
+                    params.deviation_hz
+                );
+            }
         }
     }
 

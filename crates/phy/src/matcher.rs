@@ -10,16 +10,25 @@
 //! it reports a match whenever the Hamming distance between the last
 //! `m` bits and `Sid` is at or below `bthresh`.
 
-/// Incremental matcher for an m-bit identifying sequence with a bit-error
-/// tolerance.
+/// Incremental matcher for an m-bit identifying sequence (m ≤ 128) with a
+/// bit-error tolerance.
+///
+/// The window and pattern are packed into `u128`s, so each push is a
+/// shift + xor + popcount — O(1) per bit instead of the O(m) rescan the
+/// first implementation used. The shield runs one matcher per sub-symbol
+/// phase per monitored channel, so this sits squarely on the hot path.
 #[derive(Debug, Clone)]
 pub struct SidMatcher {
-    pattern: Vec<u8>,
+    /// Pattern length `m` (the original bit vector is not retained).
+    len: usize,
+    /// The pattern packed MSB-first: `pattern[0]` (the oldest bit of a
+    /// matching window) lives at bit `m-1`.
+    pattern_bits: u128,
+    /// Low `m` bits set.
+    mask: u128,
     bthresh: usize,
-    /// Ring buffer of the last `pattern.len()` bits.
-    window: Vec<u8>,
-    /// Next write position in the ring.
-    head: usize,
+    /// The last `m` bits, packed like `pattern_bits`.
+    window: u128,
     /// Bits pushed so far (matching is disabled until the window fills).
     pushed: usize,
     /// Current Hamming distance between window and pattern.
@@ -31,30 +40,43 @@ impl SidMatcher {
     /// differences (inclusive).
     ///
     /// # Panics
-    /// Panics if the pattern is empty or contains non-bit values.
+    /// Panics if the pattern is empty, longer than 128 bits, or contains
+    /// non-bit values.
     pub fn new(pattern: Vec<u8>, bthresh: usize) -> Self {
         assert!(!pattern.is_empty(), "pattern must not be empty");
+        assert!(
+            pattern.len() <= 128,
+            "pattern must fit the 128-bit matcher window"
+        );
         assert!(
             pattern.iter().all(|&b| b <= 1),
             "pattern must contain only bits"
         );
         // Start with an all-zero window; the initial distance is the number
         // of ones in the pattern. Matching is gated on `pushed` anyway.
-        let distance = pattern.iter().filter(|&&b| b == 1).count();
         let m = pattern.len();
+        let pattern_bits = pattern
+            .iter()
+            .fold(0u128, |acc, &b| (acc << 1) | u128::from(b));
+        let mask = if m == 128 {
+            u128::MAX
+        } else {
+            (1u128 << m) - 1
+        };
         SidMatcher {
-            pattern,
+            len: m,
+            pattern_bits,
+            mask,
             bthresh,
-            window: vec![0; m],
-            head: 0,
+            window: 0,
             pushed: 0,
-            distance,
+            distance: pattern_bits.count_ones() as usize,
         }
     }
 
     /// Pattern length `m`.
     pub fn pattern_len(&self) -> usize {
-        self.pattern.len()
+        self.len
     }
 
     /// The configured tolerance.
@@ -64,28 +86,14 @@ impl SidMatcher {
 
     /// Pushes one decoded bit; returns `true` if the last `m` bits now
     /// match the pattern within `bthresh` errors.
-    ///
-    /// Each push recomputes the window distance in O(m). With m = 128 this
-    /// is well within budget at simulated bit rates, and keeps the code
-    /// obviously correct; the sliding alignment makes a true O(1) update
-    /// awkward without storing per-rotation state.
     pub fn push(&mut self, bit: u8) -> bool {
         debug_assert!(bit <= 1);
-        let m = self.pattern.len();
-        self.window[self.head] = bit;
-        self.head = (self.head + 1) % m;
+        self.window = ((self.window << 1) | u128::from(bit)) & self.mask;
         self.pushed += 1;
-        if self.pushed < m {
+        if self.pushed < self.len {
             return false;
         }
-        // window ordered oldest->newest starting at `head`.
-        let mut distance = 0usize;
-        for (i, &p) in self.pattern.iter().enumerate() {
-            let w = self.window[(self.head + i) % m];
-            if w != p {
-                distance += 1;
-            }
-        }
+        let distance = (self.window ^ self.pattern_bits).count_ones() as usize;
         self.distance = distance;
         distance <= self.bthresh
     }
@@ -104,8 +112,8 @@ impl SidMatcher {
     /// Hamming distance of the current window against the pattern
     /// (`pattern_len()` until the window has filled).
     pub fn current_distance(&self) -> usize {
-        if self.pushed < self.pattern.len() {
-            self.pattern.len()
+        if self.pushed < self.len {
+            self.len
         } else {
             self.distance
         }
@@ -113,12 +121,9 @@ impl SidMatcher {
 
     /// Resets the matcher to its initial (empty-window) state.
     pub fn reset(&mut self) {
-        for w in self.window.iter_mut() {
-            *w = 0;
-        }
-        self.head = 0;
+        self.window = 0;
         self.pushed = 0;
-        self.distance = self.pattern.iter().filter(|&&b| b == 1).count();
+        self.distance = self.pattern_bits.count_ones() as usize;
     }
 }
 

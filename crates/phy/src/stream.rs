@@ -23,6 +23,37 @@ const SYNC_BITS: usize = (PREAMBLE.len() + SYNC_WORD.len()) * 8;
 /// Bit offset of the length field within the frame.
 const LEN_FIELD_BIT: usize = (PREAMBLE.len() + SYNC_WORD.len() + 10 + 1 + 1) * 8;
 
+/// One sample of the dense matched-filter phase sweep shared by
+/// [`StreamingDetector`] and [`SidMonitor`].
+///
+/// Phase `p` reads matched-filter position `(tick - p) mod sps`; with
+/// `base = tick mod sps` that splits into two contiguous runs, so the hot
+/// loop is dense MACs with no modulo. Accumulates `s` into every phase's
+/// `(c0, c1)` and returns the one phase `p* = (base + 1) mod sps` that
+/// completes a symbol on this sample (its symbol spans
+/// `[tick - sps + 1, tick]`).
+#[inline]
+fn sweep_phases(
+    accum: &mut [(C64, C64)],
+    mf_zero: &[C64],
+    mf_one: &[C64],
+    s: C64,
+    base: usize,
+) -> usize {
+    let sps = accum.len();
+    for (p, acc) in accum[..=base].iter_mut().enumerate() {
+        let pos = base - p;
+        acc.0 += s * mf_zero[pos];
+        acc.1 += s * mf_one[pos];
+    }
+    for (off, acc) in accum[base + 1..].iter_mut().enumerate() {
+        let pos = sps - 1 - off;
+        acc.0 += s * mf_zero[pos];
+        acc.1 += s * mf_one[pos];
+    }
+    (base + 1) % sps
+}
+
 /// An event from the streaming detector.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DetectorEvent {
@@ -44,14 +75,11 @@ pub enum DetectorEvent {
     },
 }
 
-/// Per-alignment demodulation state.
+/// Per-alignment demodulation state (cold path: touched once per completed
+/// symbol; the per-sample tone accumulators live in a dense array on the
+/// detector itself for cache locality).
 #[derive(Debug, Clone)]
 struct PhaseState {
-    /// Correlation accumulators for the two tones.
-    c0: C64,
-    c1: C64,
-    /// Samples accumulated into the current symbol.
-    pos: usize,
     /// Sync matcher over this phase's bit stream.
     matcher: SidMatcher,
     /// Tone-energy separation |e1−e0| of the last `SYNC_BITS` symbols: a
@@ -110,6 +138,8 @@ pub struct StreamingDetector {
     modem: FskModem,
     mf_zero: Vec<C64>,
     mf_one: Vec<C64>,
+    /// Hot per-phase tone accumulators `(c0, c1)`, dense for locality.
+    accum: Vec<(C64, C64)>,
     phases: Vec<PhaseState>,
     lock: Option<LockState>,
     /// Pending candidate window: (deadline tick, candidates).
@@ -134,9 +164,6 @@ impl StreamingDetector {
         pattern.extend_from_slice(&crate::bits::bytes_to_bits(&SYNC_WORD));
         let phases = (0..sps)
             .map(|_| PhaseState {
-                c0: C64::ZERO,
-                c1: C64::ZERO,
-                pos: 0,
                 matcher: SidMatcher::new(pattern.clone(), sync_errors_allowed),
                 margins: std::collections::VecDeque::with_capacity(SYNC_BITS + 1),
                 margin_sum: 0.0,
@@ -146,6 +173,7 @@ impl StreamingDetector {
             mf_zero: make(params.tone_hz(0)),
             mf_one: make(params.tone_hz(1)),
             modem,
+            accum: vec![(C64::ZERO, C64::ZERO); sps],
             phases,
             lock: None,
             pending: None,
@@ -168,10 +196,10 @@ impl StreamingDetector {
     pub fn reset(&mut self) {
         self.lock = None;
         self.pending = None;
+        for a in self.accum.iter_mut() {
+            *a = (C64::ZERO, C64::ZERO);
+        }
         for p in self.phases.iter_mut() {
-            p.c0 = C64::ZERO;
-            p.c1 = C64::ZERO;
-            p.pos = 0;
             p.matcher.reset();
             p.margins.clear();
             p.margin_sum = 0.0;
@@ -192,22 +220,18 @@ impl StreamingDetector {
                 lock.power_samples += 1;
             }
 
-            // Advance every phase's symbol accumulator; phase p finalizes a
-            // symbol when (tick - p) % sps == sps-1, i.e. its symbol spans
-            // [tick-sps+1, tick].
             let mut frame_completed = false;
-            for (p, st) in self.phases.iter_mut().enumerate() {
-                let pos = (tick as usize + sps - p) % sps;
-                st.c0 += s * self.mf_zero[pos];
-                st.c1 += s * self.mf_one[pos];
-                st.pos = pos;
-                if pos == sps - 1 {
-                    let e0 = st.c0.norm_sq();
-                    let e1 = st.c1.norm_sq();
+            let base = (tick % sps as u64) as usize;
+            {
+                let p = sweep_phases(&mut self.accum, &self.mf_zero, &self.mf_one, s, base);
+                let st = &mut self.phases[p];
+                let acc = &mut self.accum[p];
+                {
+                    let e0 = acc.0.norm_sq();
+                    let e1 = acc.1.norm_sq();
                     let bit = u8::from(e1 > e0);
                     st.push_margin((e1 - e0).abs());
-                    st.c0 = C64::ZERO;
-                    st.c1 = C64::ZERO;
+                    *acc = (C64::ZERO, C64::ZERO);
 
                     match self.lock.as_mut() {
                         Some(lock) if lock.phase == p => {
@@ -379,6 +403,10 @@ pub struct SidMonitor {
     /// Refractory: suppress duplicate detections (adjacent phases matching
     /// the same transmission) until this tick.
     holdoff_until: u64,
+    /// True when matchers, accumulators and the power window are all in
+    /// their freshly-reset state, so repeated [`SidMonitor::advance_silent`]
+    /// calls can skip the O(window) reset work.
+    in_reset_state: bool,
 }
 
 impl SidMonitor {
@@ -405,11 +433,15 @@ impl SidMonitor {
             sps,
             next_tick: 0,
             holdoff_until: 0,
+            in_reset_state: true,
         }
     }
 
     /// Consumes one block; returns the first detection in it, if any.
     pub fn push_block(&mut self, samples: &[C64]) -> Option<SidDetection> {
+        if !samples.is_empty() {
+            self.in_reset_state = false;
+        }
         let mut detection = None;
         for &s in samples {
             let tick = self.next_tick;
@@ -421,28 +453,24 @@ impl SidMonitor {
             self.power_window[self.power_head] = p;
             self.power_head = (self.power_head + 1) % self.power_window.len();
 
-            for phase in 0..self.sps {
-                let pos = (tick as usize + self.sps - phase) % self.sps;
-                let (ref mut c0, ref mut c1) = self.accum[phase];
-                *c0 += s * self.mf_zero[pos];
-                *c1 += s * self.mf_one[pos];
-                if pos == self.sps - 1 {
-                    let bit = u8::from(c1.norm_sq() > c0.norm_sq());
-                    *c0 = C64::ZERO;
-                    *c1 = C64::ZERO;
-                    if self.matchers[phase].push(bit)
-                        && detection.is_none()
-                        && tick >= self.holdoff_until
-                    {
-                        detection = Some(SidDetection {
-                            tick,
-                            distance: self.matchers[phase].current_distance(),
-                            mean_power: self.power_sum / self.power_window.len() as f64,
-                        });
-                        // Hold off for half a Sid so sibling phases don't
-                        // re-report the same transmission.
-                        self.holdoff_until = tick + (self.power_window.len() / 2) as u64;
-                    }
+            let base = (tick % self.sps as u64) as usize;
+            {
+                let phase = sweep_phases(&mut self.accum, &self.mf_zero, &self.mf_one, s, base);
+                let (c0, c1) = self.accum[phase];
+                let bit = u8::from(c1.norm_sq() > c0.norm_sq());
+                self.accum[phase] = (C64::ZERO, C64::ZERO);
+                if self.matchers[phase].push(bit)
+                    && detection.is_none()
+                    && tick >= self.holdoff_until
+                {
+                    detection = Some(SidDetection {
+                        tick,
+                        distance: self.matchers[phase].current_distance(),
+                        mean_power: self.power_sum / self.power_window.len() as f64,
+                    });
+                    // Hold off for half a Sid so sibling phases don't
+                    // re-report the same transmission.
+                    self.holdoff_until = tick + (self.power_window.len() / 2) as u64;
                 }
             }
         }
@@ -457,23 +485,36 @@ impl SidMonitor {
         for a in self.accum.iter_mut() {
             *a = (C64::ZERO, C64::ZERO);
         }
+        // The power window is *not* cleared here, so the next silent
+        // advance still has zeroing to do.
+        self.in_reset_state = false;
     }
 
     /// Skips `n` samples of known silence without demodulating them
     /// (squelch: the shield's wideband monitor only pays for channels with
     /// energy on them). Equivalent to pushing `n` zero samples, except the
     /// matcher state is reset rather than fed noise bits.
+    ///
+    /// Consecutive silent advances are O(1): after the first call the
+    /// monitor is already in the reset state, so only the sample clock
+    /// moves. This matters — an idle wideband monitor calls this for every
+    /// quiet channel every block, which made the reset loop the hottest
+    /// code in the whole simulator before the flag was added.
     pub fn advance_silent(&mut self, n: u64) {
         if n == 0 {
             return;
         }
         self.next_tick += n;
+        if self.in_reset_state {
+            return;
+        }
         self.reset();
         for p in self.power_window.iter_mut() {
             *p = 0.0;
         }
         self.power_sum = 0.0;
         self.power_head = 0;
+        self.in_reset_state = true;
     }
 
     /// Current absolute sample tick.

@@ -63,10 +63,12 @@ fn ber_with_jammer(flat: bool, packets: usize, seed: u64) -> f64 {
     errors as f64 / total.max(1) as f64
 }
 
-/// Runs the shaped-vs-flat ablation.
+/// Runs the shaped-vs-flat ablation (both arms in parallel).
 pub fn jam_shape(effort: Effort, seed: u64) -> JamShapeAblation {
-    let ber_shaped = ber_with_jammer(false, effort.packets_per_location, seed);
-    let ber_flat = ber_with_jammer(true, effort.packets_per_location, seed);
+    let arms = crate::parallel::parallel_map(&[false, true], |_, &flat| {
+        ber_with_jammer(flat, effort.packets_per_location, seed)
+    });
+    let (ber_shaped, ber_flat) = (arms[0], arms[1]);
     let mut artifact = Artifact::new(
         "Ablation: jam shaping",
         "Eavesdropper BER at location 1, equal jamming power",
@@ -95,10 +97,11 @@ pub struct CancellationAblation {
     pub artifact: Artifact,
 }
 
-/// Sweeps the achievable cancellation and measures shield PER.
+/// Sweeps the achievable cancellation and measures shield PER (sweep
+/// points in parallel, seeds pre-derived per point).
 pub fn cancellation_sweep(effort: Effort, seed: u64) -> CancellationAblation {
-    let mut per_vs_g = Vec::new();
-    for (i, g) in [20.0, 24.0, 28.0, 32.0, 38.0].into_iter().enumerate() {
+    let gs = [20.0, 24.0, 28.0, 32.0, 38.0];
+    let per_vs_g: Vec<(f64, f64)> = crate::parallel::parallel_map(&gs, |i, &g| {
         // A fn-pointer tweak keyed off a thread-local would be clumsy;
         // instead rebuild with a custom config through the tweak hook.
         fn set20(c: &mut hb_shield::shield::ShieldConfig) {
@@ -131,8 +134,8 @@ pub fn cancellation_sweep(effort: Effort, seed: u64) -> CancellationAblation {
         }
         let sent = scenario.imd.stats.responses_sent.max(1);
         let ok = scenario.shield.as_ref().unwrap().stats.imd_frames_ok;
-        per_vs_g.push((g, 1.0 - ok as f64 / sent as f64));
-    }
+        (g, 1.0 - ok as f64 / sent as f64)
+    });
     let mut artifact = Artifact::new(
         "Ablation: cancellation depth",
         "Shield packet loss vs achievable antidote cancellation G",
@@ -169,10 +172,9 @@ pub fn turnaround(effort: Effort, seed: u64) -> TurnaroundAblation {
         if hw {
             cfg.shield_tweak = Some(set_hw);
         }
-        let mut acc = 0.0;
-        let mut n = 0usize;
         let reps = effort.attempts_per_location.max(3);
-        for r in 0..reps {
+        // Repetitions fan out; aggregation stays in repetition order.
+        let samples: Vec<Vec<f64>> = crate::parallel::parallel_map_n(reps, |r| {
             let mut c = cfg.clone();
             c.seed = cfg.seed.wrapping_add(r as u64 * 131);
             let mut builder = ScenarioBuilder::new(c);
@@ -186,7 +188,12 @@ pub fn turnaround(effort: Effort, seed: u64) -> TurnaroundAblation {
             let ch = scenario.channel();
             atk.send_forged_command(64, ch, serial, Command::Interrogate);
             scenario.run_seconds(&mut [&mut atk as &mut dyn hb_channel::sim::Node], 0.08);
-            for &t in &scenario.shield.as_ref().unwrap().stats.turnaround_s {
+            scenario.shield.as_ref().unwrap().stats.turnaround_s.clone()
+        });
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for rep in &samples {
+            for &t in rep {
                 acc += t;
                 n += 1;
             }
@@ -227,8 +234,8 @@ pub struct WearabilityAblation {
 /// wavelength (37.5 cm); this sweep confirms protection is insensitive to
 /// the exact wearing position in that range.
 pub fn wearability(effort: Effort, seed: u64) -> WearabilityAblation {
-    let mut rows = Vec::new();
-    for (i, d) in [0.10, 0.25, 0.35].into_iter().enumerate() {
+    let distances = [0.10, 0.25, 0.35];
+    let rows: Vec<(f64, f64, f64)> = crate::parallel::parallel_map(&distances, |i, &d| {
         // The layout's shield offset is fixed; emulate other wearing
         // distances by scaling the contact coupling with free-space delta
         // (a few dB across this range — the coupling floor dominates).
@@ -252,12 +259,12 @@ pub fn wearability(effort: Effort, seed: u64) -> WearabilityAblation {
         }
         let sent = scenario.imd.stats.responses_sent.max(1);
         let ok = scenario.shield.as_ref().unwrap().stats.imd_frames_ok;
-        rows.push((
+        (
             d,
             1.0 - ok as f64 / sent as f64,
             errors as f64 / total.max(1) as f64,
-        ));
-    }
+        )
+    });
     let mut artifact = Artifact::new(
         "Ablation: wearability",
         "Protection vs shield wearing distance (all well under half a wavelength)",
@@ -327,8 +334,11 @@ pub fn robustness(effort: Effort, seed: u64) -> RobustnessAblation {
             errors as f64 / total.max(1) as f64,
         )
     };
-    let (per_clean, _) = measure(false, seed);
-    let (per_impaired, ber_impaired) = measure(true, seed ^ 0x1CE);
+    let arms = crate::parallel::parallel_map(&[false, true], |_, &impaired| {
+        measure(impaired, if impaired { seed ^ 0x1CE } else { seed })
+    });
+    let (per_clean, _) = arms[0];
+    let (per_impaired, ber_impaired) = arms[1];
 
     let mut artifact = Artifact::new(
         "Ablation: RF impairments",

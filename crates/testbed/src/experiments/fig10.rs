@@ -40,14 +40,18 @@ pub fn one_run(packets: usize, seed: u64) -> (u64, u64) {
 /// distribution of Fig. 7).
 pub fn run(effort: Effort, seed: u64) -> Fig10Result {
     let n_runs = (effort.runs / 4).max(3);
+    // Independent repetitions fan out on the sweep runner; aggregation
+    // happens in repetition order so the result is thread-count-invariant.
+    let runs = crate::parallel::parallel_map_n(n_runs, |r| {
+        one_run(
+            effort.packets_per_location,
+            seed.wrapping_add(r as u64 * 1009),
+        )
+    });
     let mut per_run = Vec::new();
     let mut sent_total = 0u64;
     let mut decoded_total = 0u64;
-    for r in 0..n_runs {
-        let (sent, decoded) = one_run(
-            effort.packets_per_location,
-            seed.wrapping_add(r as u64 * 1009),
-        );
+    for &(sent, decoded) in &runs {
         sent_total += sent;
         decoded_total += decoded;
         if sent > 0 {

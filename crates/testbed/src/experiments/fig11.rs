@@ -129,14 +129,15 @@ pub struct Fig11Result {
     pub artifact: Artifact,
 }
 
-/// Runs locations 1..=14 (as in the paper's figure), both arms.
+/// Runs locations 1..=14 (as in the paper's figure), both arms. Locations
+/// fan out on the sweep runner; per-attempt seeds are derived from
+/// `(seed, location, attempt)` inside `success_probability`, so results
+/// are identical at any thread count.
 pub fn run(effort: Effort, seed: u64) -> Fig11Result {
     let cfg = AttackerConfig::commercial_programmer();
-    let mut absent = Vec::new();
-    let mut present = Vec::new();
-    for loc in 1..=14 {
-        absent.push((
-            loc,
+    let arms: Vec<(f64, f64)> = crate::parallel::parallel_map_n(14, |i| {
+        let loc = i + 1;
+        (
             success_probability(
                 loc,
                 false,
@@ -145,9 +146,6 @@ pub fn run(effort: Effort, seed: u64) -> Fig11Result {
                 effort.attempts_per_location,
                 seed,
             ),
-        ));
-        present.push((
-            loc,
             success_probability(
                 loc,
                 true,
@@ -156,7 +154,13 @@ pub fn run(effort: Effort, seed: u64) -> Fig11Result {
                 effort.attempts_per_location,
                 seed ^ 0xABCD,
             ),
-        ));
+        )
+    });
+    let mut absent = Vec::new();
+    let mut present = Vec::new();
+    for (i, &(off, on)) in arms.iter().enumerate() {
+        absent.push((i + 1, off));
+        present.push((i + 1, on));
     }
     let mut artifact = Artifact::new(
         "Figure 11",

@@ -25,14 +25,13 @@ pub struct Fig12Result {
     pub artifact: Artifact,
 }
 
-/// Runs locations 1..=14, both arms.
+/// Runs locations 1..=14, both arms, fanned out on the sweep runner
+/// (thread-count-invariant; see Fig. 11).
 pub fn run(effort: Effort, seed: u64) -> Fig12Result {
     let cfg = AttackerConfig::commercial_programmer();
-    let mut absent = Vec::new();
-    let mut present = Vec::new();
-    for loc in 1..=14 {
-        absent.push((
-            loc,
+    let arms: Vec<(f64, f64)> = crate::parallel::parallel_map_n(14, |i| {
+        let loc = i + 1;
+        (
             success_probability(
                 loc,
                 false,
@@ -41,9 +40,6 @@ pub fn run(effort: Effort, seed: u64) -> Fig12Result {
                 effort.attempts_per_location,
                 seed.wrapping_add(7777),
             ),
-        ));
-        present.push((
-            loc,
             success_probability(
                 loc,
                 true,
@@ -52,7 +48,13 @@ pub fn run(effort: Effort, seed: u64) -> Fig12Result {
                 effort.attempts_per_location,
                 seed ^ 0x5A5A,
             ),
-        ));
+        )
+    });
+    let mut absent = Vec::new();
+    let mut present = Vec::new();
+    for (i, &(off, on)) in arms.iter().enumerate() {
+        absent.push((i + 1, off));
+        present.push((i + 1, on));
     }
     let mut artifact = Artifact::new(
         "Figure 12",

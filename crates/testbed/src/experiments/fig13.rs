@@ -33,16 +33,15 @@ pub struct Fig13Result {
 /// Runs the 18-location sweep with the 100× attacker.
 pub fn run(effort: Effort, seed: u64) -> Fig13Result {
     let cfg = AttackerConfig::high_power_custom();
-    let mut absent = Vec::new();
-    let mut present = Vec::new();
-    let mut alarm = Vec::new();
-    let mut successes_with_shield = 0usize;
-    let mut alarmed_successes = 0usize;
-
-    for loc in 1..=18 {
+    // One task per location (both arms, all attempts); per-attempt seeds
+    // derive from (seed, location, attempt) alone, so the sweep is
+    // thread-count-invariant. Totals aggregate in location order.
+    let per_loc: Vec<(usize, usize, usize, usize)> = crate::parallel::parallel_map_n(18, |i| {
+        let loc = i + 1;
         let mut s_abs = 0usize;
         let mut s_pres = 0usize;
         let mut s_alarm = 0usize;
+        let mut s_alarmed_success = 0usize;
         for a in 0..effort.attempts_per_location {
             let sd = seed
                 .wrapping_mul(2862933555777941757)
@@ -53,19 +52,29 @@ pub fn run(effort: Effort, seed: u64) -> Fig13Result {
             let on = attack_once(loc, true, &cfg, AttackGoal::ChangeTherapy, sd ^ 0xF00D);
             if on.success {
                 s_pres += 1;
-                successes_with_shield += 1;
                 if on.alarm {
-                    alarmed_successes += 1;
+                    s_alarmed_success += 1;
                 }
             }
             if on.alarm {
                 s_alarm += 1;
             }
         }
+        (s_abs, s_pres, s_alarm, s_alarmed_success)
+    });
+    let mut absent = Vec::new();
+    let mut present = Vec::new();
+    let mut alarm = Vec::new();
+    let mut successes_with_shield = 0usize;
+    let mut alarmed_successes = 0usize;
+    for (i, &(s_abs, s_pres, s_alarm, s_alarmed_success)) in per_loc.iter().enumerate() {
+        let loc = i + 1;
         let n = effort.attempts_per_location as f64;
         absent.push((loc, s_abs as f64 / n));
         present.push((loc, s_pres as f64 / n));
         alarm.push((loc, s_alarm as f64 / n));
+        successes_with_shield += s_pres;
+        alarmed_successes += s_alarmed_success;
     }
 
     let coverage = if successes_with_shield > 0 {

@@ -60,14 +60,17 @@ pub fn run_margin_point(margin_db: f64, packets: usize, seed: u64) -> (f64, f64)
     (ber, per.max(0.0))
 }
 
-/// Runs the full sweep of relative jamming powers (0..=25 dB).
+/// Runs the full sweep of relative jamming powers (0..=25 dB). Sweep
+/// points run in parallel; per-point seeds are derived before the fan-out,
+/// so results are identical at any thread count.
 pub fn run(effort: Effort, seed: u64) -> Fig8Result {
     let margins = [0.0, 2.5, 5.0, 7.5, 10.0, 12.5, 15.0, 17.5, 20.0, 22.5, 25.0];
+    let points = crate::parallel::parallel_map(&margins, |i, &m| {
+        run_margin_point(m, effort.packets_per_location, seed.wrapping_add(i as u64))
+    });
     let mut ber_curve = Vec::new();
     let mut per_curve = Vec::new();
-    for (i, &m) in margins.iter().enumerate() {
-        let (ber, per) =
-            run_margin_point(m, effort.packets_per_location, seed.wrapping_add(i as u64));
+    for (&m, &(ber, per)) in margins.iter().zip(points.iter()) {
         ber_curve.push((m, ber));
         per_curve.push((m, per));
     }

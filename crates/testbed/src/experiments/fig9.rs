@@ -58,17 +58,19 @@ pub fn ber_at_location(location: usize, packets: usize, seed: u64) -> f64 {
     }
 }
 
-/// Runs the 18-location sweep.
+/// Runs the 18-location sweep. Locations run in parallel on the sweep
+/// runner; each task derives its seed from `(seed, location)` before the
+/// fan-out, so the results are identical at any thread count.
 pub fn run(effort: Effort, seed: u64) -> Fig9Result {
-    let mut per_loc = Vec::new();
-    for loc in 1..=18 {
+    let per_loc: Vec<(usize, f64)> = crate::parallel::parallel_map_n(18, |i| {
+        let loc = i + 1;
         let ber = ber_at_location(
             loc,
             effort.packets_per_location,
             seed.wrapping_add(loc as u64),
         );
-        per_loc.push((loc, ber));
-    }
+        (loc, ber)
+    });
     let cdf = Cdf::from_samples(per_loc.iter().map(|&(_, b)| b).collect());
     let mut artifact = Artifact::new(
         "Figure 9",

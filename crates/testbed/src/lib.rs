@@ -14,9 +14,11 @@
 pub mod crosstraffic;
 pub mod experiments;
 pub mod layout;
+pub mod parallel;
 pub mod report;
 pub mod scenario;
 
 pub use experiments::Effort;
 pub use layout::Fig6Layout;
+pub use parallel::threads as parallel_threads;
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioConfig};

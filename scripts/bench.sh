@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tracked-benchmark wrapper: builds the perf_report harness, runs it, and
+# writes the next results/BENCH_N.json in the repo's benchmark trajectory.
+#
+#   scripts/bench.sh           # full kernels, writes results/BENCH_<next>.json
+#   scripts/bench.sh --quick   # CI smoke: tiny iteration counts, prints only
+#
+# Checked-in BENCH files should come from a quiet machine; --quick runs are
+# for validating that the harness builds and emits parseable JSON.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p hb_bench --bin perf_report
+
+if [[ "${1:-}" == "--quick" ]]; then
+    ./target/release/perf_report --quick
+    exit 0
+fi
+
+mkdir -p results
+next=2
+while [[ -e "results/BENCH_${next}.json" ]]; do
+    next=$((next + 1))
+done
+./target/release/perf_report --out "results/BENCH_${next}.json"
+echo "benchmark trajectory: $(ls results/BENCH_*.json | tr '\n' ' ')"
