@@ -1,0 +1,294 @@
+//! `hb_eval` — the experiment-registry CLI.
+//!
+//! Lists and runs the reproduction's experiments through the
+//! `hb_testbed::experiments::registry` engine and writes machine-readable
+//! artifacts under `results/`.
+//!
+//! ```text
+//! hb_eval --list [--format text|csv|json|md]
+//! hb_eval run <name>... [--effort quick|full|tiny] [--seed N]
+//!                       [--threads N] [--format text|csv|json]
+//!                       [--out-dir DIR]
+//! hb_eval --all [same flags]
+//! ```
+//!
+//! * `--list` prints the registry (name + what each experiment
+//!   reproduces); `--format md` emits the README's experiment table.
+//! * `run`/`--all` execute experiments in registry order. Every run
+//!   writes `DIR/<stem>.json` (the canonical machine-readable artifact);
+//!   `--format csv` additionally writes `DIR/<stem>.csv`. Stdout carries
+//!   the artifacts in the chosen format and stays machine-readable for
+//!   any number of experiments: CSV gets one `experiment,series,x,y`
+//!   header, JSON emits a single object for one experiment and an array
+//!   for several. Progress/timing goes to stderr, so stdout is
+//!   bit-identical across runs and thread counts for a fixed
+//!   `(effort, seed)`.
+//! * `--effort` defaults to each experiment's `default_effort()`.
+//! * `--threads N` pins the sweep runner's worker count (same as the
+//!   `HB_THREADS` environment variable); results do not depend on it.
+
+use hb_testbed::experiments::registry::{self, EvalCtx, Experiment};
+use hb_testbed::experiments::Effort;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Stdout rendering / file formats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Csv,
+    Json,
+    Markdown,
+}
+
+impl Format {
+    fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "csv" => Some(Format::Csv),
+            "json" => Some(Format::Json),
+            "md" => Some(Format::Markdown),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed command line.
+struct Args {
+    list: bool,
+    all: bool,
+    names: Vec<String>,
+    effort: Option<Effort>,
+    seed: u64,
+    format: Format,
+    out_dir: String,
+}
+
+const USAGE: &str = "usage:
+  hb_eval --list [--format text|csv|json|md]
+  hb_eval run <name>... [--effort quick|full|tiny] [--seed N]
+                        [--threads N] [--format text|csv|json] [--out-dir DIR]
+  hb_eval --all [same flags as run]
+
+`hb_eval --list` shows every registered experiment.";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        all: false,
+        names: Vec::new(),
+        effort: None,
+        seed: registry::DEFAULT_SEED,
+        format: Format::Text,
+        out_dir: "results".to_string(),
+    };
+    let mut it = argv.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                 flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => args.list = true,
+            "--all" => args.all = true,
+            "run" => {
+                while let Some(n) = it.peek() {
+                    if n.starts_with("--") {
+                        break;
+                    }
+                    args.names.push(it.next().unwrap().clone());
+                }
+                if args.names.is_empty() {
+                    return Err("run needs at least one experiment name".to_string());
+                }
+            }
+            "--effort" => {
+                let v = value(&mut it, "--effort")?;
+                args.effort =
+                    Some(Effort::by_name(&v).ok_or_else(|| format!("unknown effort '{v}'"))?);
+            }
+            "--seed" => {
+                let v = value(&mut it, "--seed")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--threads" => {
+                let v = value(&mut it, "--threads")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count '{v}'"))?;
+                std::env::set_var("HB_THREADS", n.max(1).to_string());
+            }
+            "--format" => {
+                let v = value(&mut it, "--format")?;
+                args.format = Format::parse(&v).ok_or_else(|| format!("unknown format '{v}'"))?;
+            }
+            "--out-dir" => args.out_dir = value(&mut it, "--out-dir")?,
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Renders the registry listing in the requested format.
+fn render_list(format: Format) -> String {
+    let mut out = String::new();
+    match format {
+        Format::Text => {
+            let width = registry::registry()
+                .iter()
+                .map(|e| e.name().len())
+                .max()
+                .unwrap_or(0);
+            for e in registry::registry() {
+                out.push_str(&format!("{:width$}  {}\n", e.name(), e.reproduces()));
+            }
+        }
+        Format::Csv => {
+            out.push_str("name,reproduces\n");
+            for e in registry::registry() {
+                out.push_str(&format!(
+                    "{},{}\n",
+                    e.name(),
+                    hb_testbed::report::csv_escape(e.reproduces())
+                ));
+            }
+        }
+        Format::Json => {
+            out.push_str("[\n");
+            let n = registry::registry().len();
+            for (i, e) in registry::registry().iter().enumerate() {
+                out.push_str(&format!(
+                    "  {{\"name\": \"{}\", \"reproduces\": {}}}{}\n",
+                    e.name(),
+                    hb_testbed::report::json_string(e.reproduces()),
+                    if i + 1 < n { "," } else { "" }
+                ));
+            }
+            out.push_str("]\n");
+        }
+        Format::Markdown => {
+            out.push_str("| Experiment | Reproduces |\n|---|---|\n");
+            for e in registry::registry() {
+                out.push_str(&format!("| `{}` | {} |\n", e.name(), e.reproduces()));
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list {
+        print!("{}", render_list(args.format));
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&'static dyn Experiment> = if args.all {
+        registry::registry().to_vec()
+    } else if args.names.is_empty() {
+        eprintln!("nothing to do: pass --list, --all, or run <name>...\n\n{USAGE}");
+        return ExitCode::from(2);
+    } else {
+        let mut v = Vec::new();
+        for name in &args.names {
+            match registry::find(name) {
+                Some(e) => v.push(e),
+                None => {
+                    eprintln!("unknown experiment '{name}'; `hb_eval --list` shows the registry");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        v
+    };
+    if args.format == Format::Markdown {
+        eprintln!("--format md is for --list only; use text, csv, or json for runs");
+        return ExitCode::from(2);
+    }
+
+    if std::fs::create_dir_all(&args.out_dir).is_err() {
+        eprintln!("cannot create output directory {}", args.out_dir);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "hb_eval: {} experiment(s), seed {}, {} worker thread(s)",
+        selected.len(),
+        args.seed,
+        hb_testbed::parallel_threads()
+    );
+    let t0 = Instant::now();
+    // Stdout must stay machine-readable for any number of experiments:
+    // one CSV header total, and multiple JSON artifacts as a JSON array.
+    let multi = selected.len() > 1;
+    match args.format {
+        Format::Csv => println!("experiment,series,x,y"),
+        Format::Json if multi => println!("["),
+        _ => {}
+    }
+    for (i, exp) in selected.iter().enumerate() {
+        let ctx = EvalCtx::new(
+            args.effort.unwrap_or_else(|| exp.default_effort()),
+            args.seed,
+        );
+        let t = Instant::now();
+        let (artifact, stem) = registry::run_one(*exp, &ctx);
+        eprintln!("{} done in {:.1}s", exp.name(), t.elapsed().as_secs_f64());
+        let json = artifact.to_json();
+        let json_path = format!("{}/{stem}.json", args.out_dir);
+        if std::fs::write(&json_path, &json).is_err() {
+            eprintln!("cannot write {json_path}");
+            return ExitCode::FAILURE;
+        }
+        match args.format {
+            Format::Text => print!("{}", artifact.render()),
+            Format::Json => {
+                if multi {
+                    print!(
+                        "{}{}",
+                        json.trim_end(),
+                        if i + 1 < selected.len() { ",\n" } else { "\n" }
+                    );
+                } else {
+                    print!("{json}");
+                }
+            }
+            Format::Csv => {
+                let csv = artifact.to_csv();
+                let csv_path = format!("{}/{stem}.csv", args.out_dir);
+                if std::fs::write(&csv_path, &csv).is_err() {
+                    eprintln!("cannot write {csv_path}");
+                    return ExitCode::FAILURE;
+                }
+                // Per-file CSV keeps its own header; stdout gets one
+                // header plus an experiment-name column.
+                let name = exp.name();
+                for row in csv.lines().skip(1) {
+                    println!("{name},{row}");
+                }
+            }
+            Format::Markdown => unreachable!("rejected above"),
+        }
+    }
+    if args.format == Format::Json && multi {
+        println!("]");
+    }
+    eprintln!(
+        "total {:.1}s; artifacts in {}/",
+        t0.elapsed().as_secs_f64(),
+        args.out_dir
+    );
+    ExitCode::SUCCESS
+}

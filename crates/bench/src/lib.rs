@@ -1,4 +1,12 @@
-//! # hb-bench — benchmark harness
+//! # hb-bench — benchmark harness and evaluation CLI
+//!
+//! Two binaries live under `src/bin/`:
+//!
+//! * `perf_report` — the tracked-benchmark harness behind
+//!   `scripts/bench.sh` (`results/BENCH_*.json`).
+//! * `hb_eval` — the experiment-registry CLI: `--list`, `run <name>...`,
+//!   `--all`, with `--effort`/`--seed`/`--threads` and
+//!   `--format text|csv|json` artifacts written under `results/`.
 //!
 //! Criterion benches live under `benches/`:
 //!

@@ -107,6 +107,21 @@ pub fn run(effort: Effort, seed: u64) -> BatteryResult {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct BatteryExperiment;
+
+impl crate::experiments::registry::Experiment for BatteryExperiment {
+    fn name(&self) -> &'static str {
+        "battery"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Extension — quantified battery-depletion attack"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,6 +81,21 @@ pub fn run(effort: Effort, seed: u64) -> Fig10Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig10Experiment;
+
+impl crate::experiments::registry::Experiment for Fig10Experiment {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 10 — shield packet-loss CDF (~0.2%)"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

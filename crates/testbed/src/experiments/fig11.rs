@@ -36,12 +36,29 @@ pub struct AttackOutcome {
     pub jammed: bool,
 }
 
-/// Runs one attack attempt from `location` and reports the outcome.
+/// Runs one attack attempt from numbered location `location` and reports
+/// the outcome.
 ///
 /// A fresh scenario is built per attempt (fresh shadowing), which is what
 /// turns marginal locations into fractional success probabilities.
 pub fn attack_once(
     location: usize,
+    shield_on: bool,
+    attacker_cfg: &AttackerConfig,
+    goal: AttackGoal,
+    seed: u64,
+) -> AttackOutcome {
+    let placement = crate::layout::Fig6Layout::paper()
+        .location(location)
+        .placement("attacker");
+    attack_once_at(placement, shield_on, attacker_cfg, goal, seed)
+}
+
+/// [`attack_once`] from an arbitrary placement — the mobile-adversary
+/// sweep walks the attacker through positions that are not numbered
+/// Fig. 6 locations.
+pub fn attack_once_at(
+    placement: hb_channel::geometry::Placement,
     shield_on: bool,
     attacker_cfg: &AttackerConfig,
     goal: AttackGoal,
@@ -60,7 +77,7 @@ pub fn attack_once(
         ImdModel::ConcertoCrt
     };
     let mut builder = ScenarioBuilder::new(cfg);
-    let atk_ant = builder.add_at_location(location, "attacker");
+    let atk_ant = builder.add_at(placement);
     let mut scenario = builder.build();
     let mut attacker = ActiveAttacker::new(attacker_cfg.clone(), atk_ant);
 
@@ -184,6 +201,21 @@ pub fn run(effort: Effort, seed: u64) -> Fig11Result {
         absent,
         present,
         artifact,
+    }
+}
+
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig11Experiment;
+
+impl crate::experiments::registry::Experiment for Fig11Experiment {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 11 — battery-depletion attack success probability"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
     }
 }
 

@@ -80,6 +80,21 @@ pub fn run(effort: Effort, seed: u64) -> Fig12Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig12Experiment;
+
+impl crate::experiments::registry::Experiment for Fig12Experiment {
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 12 — therapy-change attack success probability"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::fig11::attack_once;

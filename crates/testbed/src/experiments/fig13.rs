@@ -118,6 +118,21 @@ pub fn run(effort: Effort, seed: u64) -> Fig13Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig13Experiment;
+
+impl crate::experiments::registry::Experiment for Fig13Experiment {
+    fn name(&self) -> &'static str {
+        "fig13"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 13 — 100x-power adversary + alarm"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

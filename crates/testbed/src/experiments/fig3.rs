@@ -171,6 +171,21 @@ pub fn run(effort: Effort, seed: u64) -> Fig3Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig3Experiment;
+
+impl crate::experiments::registry::Experiment for Fig3Experiment {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 3 — IMD reply timing; no carrier sense"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -60,6 +60,24 @@ pub fn run(_effort: Effort, _seed: u64) -> Fig4Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig4Experiment;
+
+impl crate::experiments::registry::Experiment for Fig4Experiment {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 4 — FSK power profile of the IMD"
+    }
+    fn default_effort(&self) -> super::Effort {
+        super::Effort::tiny()
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

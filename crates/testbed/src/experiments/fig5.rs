@@ -102,6 +102,24 @@ pub fn run(_effort: Effort, _seed: u64) -> Fig5Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig5Experiment;
+
+impl crate::experiments::registry::Experiment for Fig5Experiment {
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 5 — shaped vs constant jamming profile"
+    }
+    fn default_effort(&self) -> super::Effort {
+        super::Effort::tiny()
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

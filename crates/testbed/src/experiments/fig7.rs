@@ -88,6 +88,21 @@ pub fn run(effort: Effort, seed: u64) -> Fig7Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig7Experiment;
+
+impl crate::experiments::registry::Experiment for Fig7Experiment {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 7 — antenna-cancellation CDF (~32 dB)"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -104,15 +104,34 @@ pub fn run(effort: Effort, seed: u64) -> Fig8Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig8Experiment;
+
+impl crate::experiments::registry::Experiment for Fig8Experiment {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 8 — eavesdropper BER / shield PER vs jam power"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     /// One end-to-end sanity point at the paper's +20 dB operating point.
     /// (The full sweep runs in the bench / full_evaluation example.)
+    /// Sample counts are sized so the BER estimate sits well inside the
+    /// asserted bound for any reasonable RNG stream — if an RNG change
+    /// trips this, grow the packet count further rather than loosening
+    /// the bound (ROADMAP).
     #[test]
     fn at_20db_adversary_guesses_and_shield_decodes() {
-        let (ber, per) = run_margin_point(20.0, 8, 7);
+        let (ber, per) = run_margin_point(20.0, 16, 7);
         assert!(
             (ber - 0.5).abs() < 0.08,
             "eavesdropper BER {ber} should be ~0.5"
@@ -127,8 +146,8 @@ mod tests {
         // paper's ~0.05 because the shield's body-contact coupling gives
         // the eavesdropper relatively more jamming at equal margin — see
         // EXPERIMENTS.md.)
-        let (ber0, _) = run_margin_point(0.0, 12, 11);
-        let (ber20, _) = run_margin_point(20.0, 12, 11);
+        let (ber0, _) = run_margin_point(0.0, 24, 11);
+        let (ber20, _) = run_margin_point(20.0, 24, 11);
         assert!(
             ber0 < ber20 - 0.1,
             "BER at 0 dB ({ber0}) must be below BER at 20 dB ({ber20})"

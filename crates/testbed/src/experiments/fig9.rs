@@ -94,6 +94,21 @@ pub fn run(effort: Effort, seed: u64) -> Fig9Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Fig9Experiment;
+
+impl crate::experiments::registry::Experiment for Fig9Experiment {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Fig. 9 — eavesdropper BER CDF over all 18 locations"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,9 +116,11 @@ mod tests {
     #[test]
     fn near_and_far_locations_both_guess() {
         // Location independence (Eq. 7): 20 cm and 27 m eavesdroppers see
-        // the same ~50% BER.
-        let near = ber_at_location(1, 4, 3);
-        let far = ber_at_location(13, 4, 3);
+        // the same ~50% BER. Sampled at 8 packets so the estimate sits
+        // well inside the ±0.1 bound (grow further rather than loosening
+        // the bound — ROADMAP).
+        let near = ber_at_location(1, 8, 3);
+        let far = ber_at_location(13, 8, 3);
         assert!((near - 0.5).abs() < 0.1, "near BER {near}");
         assert!((far - 0.5).abs() < 0.1, "far BER {far}");
     }

@@ -1,6 +1,9 @@
 //! One module per table/figure of the paper's evaluation (§10–§11), plus
-//! ablations. Each module exposes a `run(effort, seed) -> Artifact` (some
-//! also return typed data) and renders paper-style output.
+//! ablations and extension scenarios. Each module exposes a typed
+//! `run(effort, seed)` entry point *and* a zero-sized
+//! [`registry::Experiment`] entry struct; the [`registry`] lists every
+//! entry so drivers (the `full_evaluation` example, the `hb_eval` CLI)
+//! never hard-code experiment names.
 //!
 //! | Module | Reproduces |
 //! |---|---|
@@ -16,8 +19,10 @@
 //! | [`fig13`] | Fig. 13 — 100×-power adversary + alarm |
 //! | [`table1`]| Table 1 — Pthresh calibration |
 //! | [`table2`]| Table 2 — coexistence & turn-around time |
-//! | [`ablation`] | Design-choice ablations (shaped vs flat jamming, G sweep, turn-around, wearability) |
+//! | [`ablation`] | Design-choice ablations (shaped vs flat jamming, G sweep, turn-around, wearability, RF impairments) |
 //! | [`battery`] | Extension: quantified battery-depletion attack |
+//! | [`ward`] | Extension: two shielded patients in one ward |
+//! | [`mobile`] | Extension: adversary walking a path through the layout |
 
 pub mod ablation;
 pub mod battery;
@@ -31,8 +36,11 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod mobile;
+pub mod registry;
 pub mod table1;
 pub mod table2;
+pub mod ward;
 
 use crate::scenario::Scenario;
 use hb_channel::sim::Node;
@@ -40,7 +48,7 @@ use hb_imd::commands::Command;
 
 /// Experiment sizing: `quick` keeps unit tests and CI fast; `full`
 /// approaches the paper's sample counts.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Effort {
     /// IMD packets observed per eavesdropper location (Figs. 8–10).
     pub packets_per_location: usize,
@@ -75,6 +83,16 @@ impl Effort {
             packets_per_location: 3,
             attempts_per_location: 3,
             runs: 8,
+        }
+    }
+
+    /// Looks up a preset by its CLI name (`quick`, `full`, `tiny`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "quick" => Some(Self::quick()),
+            "full" => Some(Self::full()),
+            "tiny" => Some(Self::tiny()),
+            _ => None,
         }
     }
 }

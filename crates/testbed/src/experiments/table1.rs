@@ -120,6 +120,21 @@ pub fn run(effort: Effort, seed: u64) -> Table1Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Table1Experiment;
+
+impl crate::experiments::registry::Experiment for Table1Experiment {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Table 1 — Pthresh calibration"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -163,6 +163,21 @@ pub fn run(effort: Effort, seed: u64) -> Table2Result {
     }
 }
 
+/// Registry entry: [`run`] as a first-class experiment.
+pub struct Table2Experiment;
+
+impl crate::experiments::registry::Experiment for Table2Experiment {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+    fn reproduces(&self) -> &'static str {
+        "Table 2 — coexistence + turn-around time"
+    }
+    fn run(&self, ctx: &crate::experiments::registry::EvalCtx) -> Artifact {
+        run(ctx.effort, ctx.seed).artifact
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

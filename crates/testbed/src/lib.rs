@@ -5,8 +5,10 @@
 //!
 //! * [`layout`] — the 18 adversary locations, shield and IMD placements.
 //! * [`scenario`] — scenario assembly with the calibrated channel model.
-//! * [`experiments`] — one module per table/figure, plus ablations.
-//! * [`report`] — paper-style rendering and CSV export.
+//! * [`experiments`] — one module per table/figure, plus ablations and
+//!   extension scenarios, all behind the
+//!   [`experiments::registry::Experiment`] trait and its static registry.
+//! * [`report`] — paper-style rendering plus CSV and JSON export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +20,7 @@ pub mod parallel;
 pub mod report;
 pub mod scenario;
 
+pub use experiments::registry::{EvalCtx, Experiment};
 pub use experiments::Effort;
 pub use layout::Fig6Layout;
 pub use parallel::threads as parallel_threads;

@@ -70,6 +70,49 @@ impl Artifact {
         out
     }
 
+    /// JSON rendering (hand-rolled, like [`Artifact::to_csv`] — no
+    /// serialization dependency): an object with `id`, `caption`,
+    /// `series` (each `{label, points: [[x, y], ...]}`), and `notes`.
+    ///
+    /// Numbers use Rust's shortest round-trip `Display` form, so the
+    /// output is deterministic for deterministic inputs. JSON has no
+    /// NaN/Infinity; non-finite values render as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_string(&self.id));
+        let _ = writeln!(out, "  \"caption\": {},", json_string(&self.caption));
+        out.push_str("  \"series\": [\n");
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"label\": {}, \"points\": [",
+                json_string(&s.label)
+            );
+            for (pi, &(x, y)) in s.points.iter().enumerate() {
+                if pi > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{}, {}]", json_number(x), json_number(y));
+            }
+            let _ = writeln!(
+                out,
+                "]}}{}",
+                if si + 1 < self.series.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ],\n  \"notes\": [\n");
+        for (ni, n) in self.notes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {}{}",
+                json_string(n),
+                if ni + 1 < self.notes.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Human-readable rendering with an ASCII chart per series.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -88,8 +131,41 @@ impl Artifact {
     }
 }
 
-fn csv_escape(s: &str) -> String {
-    if s.contains(',') || s.contains('"') {
+/// Quotes and escapes `s` as a JSON string literal (shared by
+/// [`Artifact::to_json`] and the `hb_eval` listing renderer).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (`null` for NaN/Infinity).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes `s` as a CSV field, quoting and doubling quotes as needed
+/// (shared by [`Artifact::to_csv`] and the `hb_eval` listing renderer).
+pub fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -138,6 +214,38 @@ mod tests {
         assert!(csv.starts_with("series,x,y\n"));
         assert!(csv.contains("\"line,one\",1,2"));
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_structure_and_escaping() {
+        let mut a = Artifact::new("Figure X", "quote \" backslash \\ done");
+        a.push_series(Series::new("s1", vec![(1.0, 2.5), (3.0, 4.0)]));
+        a.note("line one\nline two\ttabbed");
+        let json = a.to_json();
+        assert!(json.contains("\"id\": \"Figure X\""));
+        assert!(json.contains("\"caption\": \"quote \\\" backslash \\\\ done\""));
+        assert!(json.contains("\"points\": [[1, 2.5], [3, 4]]"));
+        assert!(json.contains("\"line one\\nline two\\ttabbed\""));
+    }
+
+    #[test]
+    fn json_non_finite_values_become_null() {
+        let mut a = Artifact::new("F", "c");
+        a.push_series(Series::new(
+            "s",
+            vec![(0.0, f64::NAN), (1.0, f64::INFINITY)],
+        ));
+        let json = a.to_json();
+        assert!(json.contains("[[0, null], [1, null]]"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn json_empty_series_and_notes() {
+        let a = Artifact::new("Empty", "nothing yet");
+        let json = a.to_json();
+        assert!(json.contains("\"series\": [\n  ]"));
+        assert!(json.contains("\"notes\": [\n  ]"));
     }
 
     #[test]

@@ -98,6 +98,15 @@ impl ScenarioConfig {
     }
 }
 
+/// An additional shielded patient sharing the medium (ward scenarios):
+/// their own implant plus the shield worn over it.
+pub struct Patient {
+    /// The patient's implant.
+    pub imd: ImdDevice,
+    /// The shield worn over it.
+    pub shield: Shield,
+}
+
 /// A built scenario: medium + IMD + optional shield, with helpers to add
 /// adversary antennas and drive the loop.
 pub struct Scenario {
@@ -107,8 +116,19 @@ pub struct Scenario {
     pub imd: ImdDevice,
     /// The shield, when worn.
     pub shield: Option<Shield>,
+    /// Additional shielded patients in the same medium (empty outside
+    /// ward scenarios), in [`ScenarioBuilder::add_patient`] order.
+    pub patients: Vec<Patient>,
     /// The layout used.
     pub layout: Fig6Layout,
+}
+
+/// A patient added via [`ScenarioBuilder::add_patient`], waiting for
+/// `build` to construct the device.
+struct PendingPatient {
+    imd_ant: AntennaId,
+    imd_cfg: hb_imd::models::ImdConfig,
+    shield: Shield,
 }
 
 /// Builder that must know all antennas before link gains are drawn.
@@ -118,6 +138,7 @@ pub struct ScenarioBuilder {
     layout: Fig6Layout,
     imd_ant: AntennaId,
     shield: Option<Shield>,
+    patients: Vec<PendingPatient>,
     rng: StdRng,
 }
 
@@ -131,27 +152,14 @@ impl ScenarioBuilder {
         let imd_ant = medium.add_antenna(Placement::los("imd", 0.0, 0.0).implanted());
 
         let shield = if cfg.shield_enabled {
-            let mut scfg =
-                ShieldConfig::paper_defaults(cfg.imd_model.config(cfg.channel).serial, cfg.channel);
-            if let Some(margin) = cfg.jam_margin_db {
-                scfg.jam_margin_db = margin;
-            }
-            if let Some(tweak) = cfg.shield_tweak {
-                tweak(&mut scfg);
-            }
-            let shield =
-                Shield::install(scfg, &mut medium, (layout.shield_offset_m, 0.0), rng.gen());
-            // Body-contact coupling: explicit shield↔IMD links (body loss
-            // plus the contact coupling), reciprocal, with random phases.
-            let loss_db = cfg.pathloss.body_loss_db + cfg.shield_body_coupling_db;
-            let amp = hb_dsp::units::ratio_from_db(-loss_db).sqrt();
-            for ant in [shield.jam_antenna(), shield.rx_antenna()] {
-                let g =
-                    hb_dsp::complex::C64::from_polar(amp, rng.gen::<f64>() * std::f64::consts::TAU);
-                medium.set_gain(ant, imd_ant, g);
-                medium.set_gain(imd_ant, ant, g);
-            }
-            Some(shield)
+            Some(install_shield(
+                &cfg,
+                &mut medium,
+                &mut rng,
+                cfg.imd_model,
+                imd_ant,
+                (layout.shield_offset_m, 0.0),
+            ))
         } else {
             None
         };
@@ -162,8 +170,37 @@ impl ScenarioBuilder {
             layout,
             imd_ant,
             shield,
+            patients: Vec::new(),
             rng,
         }
+    }
+
+    /// Adds a second shielded patient to the medium: their implant at
+    /// `offset_m` plus a shield worn at the necklace offset beside it,
+    /// with the same body-contact coupling treatment as the primary
+    /// patient. Returns the index into [`Scenario::patients`].
+    ///
+    /// Use a `model` whose serial differs from the primary patient's so
+    /// each shield relays only to its own implant (ward scenarios pair a
+    /// Virtuoso with a Concerto, as a real ward would mix devices).
+    pub fn add_patient(&mut self, offset_m: (f64, f64), model: ImdModel) -> usize {
+        let imd_ant = self
+            .medium
+            .add_antenna(Placement::los("ward-imd", offset_m.0, offset_m.1).implanted());
+        let shield = install_shield(
+            &self.cfg,
+            &mut self.medium,
+            &mut self.rng,
+            model,
+            imd_ant,
+            (offset_m.0 + self.layout.shield_offset_m, offset_m.1),
+        );
+        self.patients.push(PendingPatient {
+            imd_ant,
+            imd_cfg: model.config(self.cfg.channel),
+            shield,
+        });
+        self.patients.len() - 1
     }
 
     /// Adds an antenna at a numbered Fig. 6 location.
@@ -187,23 +224,79 @@ impl ScenarioBuilder {
             self.imd_ant,
             StdRng::seed_from_u64(self.rng.gen()),
         );
+        let patients = self
+            .patients
+            .into_iter()
+            .map(|p| {
+                self.medium
+                    .set_noise_floor_dbm(p.imd_ant, self.cfg.imd_noise_floor_dbm);
+                Patient {
+                    imd: ImdDevice::new(
+                        p.imd_cfg,
+                        p.imd_ant,
+                        StdRng::seed_from_u64(self.rng.gen()),
+                    ),
+                    shield: p.shield,
+                }
+            })
+            .collect();
         Scenario {
             medium: self.medium,
             imd,
             shield: self.shield,
+            patients,
             layout: self.layout,
         }
     }
 }
 
+/// Installs a shield over the implant at `imd_ant`: paper-default config
+/// (plus the scenario's overrides), the two shield antennas at
+/// `position`, and the reciprocal body-contact couplings to the implant
+/// (body loss plus the contact coupling, random phases).
+///
+/// The RNG draw order — install seed, then one phase per shield antenna —
+/// is pinned by the golden tests; `build_links` preserves these wired
+/// gains.
+fn install_shield(
+    cfg: &ScenarioConfig,
+    medium: &mut Medium,
+    rng: &mut StdRng,
+    model: ImdModel,
+    imd_ant: AntennaId,
+    position: (f64, f64),
+) -> Shield {
+    let mut scfg = ShieldConfig::paper_defaults(model.config(cfg.channel).serial, cfg.channel);
+    if let Some(margin) = cfg.jam_margin_db {
+        scfg.jam_margin_db = margin;
+    }
+    if let Some(tweak) = cfg.shield_tweak {
+        tweak(&mut scfg);
+    }
+    let shield = Shield::install(scfg, medium, position, rng.gen());
+    let loss_db = cfg.pathloss.body_loss_db + cfg.shield_body_coupling_db;
+    let amp = hb_dsp::units::ratio_from_db(-loss_db).sqrt();
+    for ant in [shield.jam_antenna(), shield.rx_antenna()] {
+        let g = hb_dsp::complex::C64::from_polar(amp, rng.gen::<f64>() * std::f64::consts::TAU);
+        medium.set_gain(ant, imd_ant, g);
+        medium.set_gain(imd_ant, ant, g);
+    }
+    shield
+}
+
 impl Scenario {
-    /// Runs `blocks` simulation blocks, polling the IMD, the shield, and
-    /// any extra nodes in the standard two-phase order.
+    /// Runs `blocks` simulation blocks, polling the IMD, the shield, any
+    /// additional patients, and any extra nodes in the standard two-phase
+    /// order.
     pub fn run_blocks(&mut self, extra: &mut [&mut dyn Node], blocks: u64) {
         for _ in 0..blocks {
             self.imd.produce(&mut self.medium);
             if let Some(shield) = self.shield.as_mut() {
                 shield.produce(&mut self.medium);
+            }
+            for p in self.patients.iter_mut() {
+                p.imd.produce(&mut self.medium);
+                p.shield.produce(&mut self.medium);
             }
             for n in extra.iter_mut() {
                 n.produce(&mut self.medium);
@@ -211,6 +304,10 @@ impl Scenario {
             self.imd.consume(&mut self.medium);
             if let Some(shield) = self.shield.as_mut() {
                 shield.consume(&mut self.medium);
+            }
+            for p in self.patients.iter_mut() {
+                p.imd.consume(&mut self.medium);
+                p.shield.consume(&mut self.medium);
             }
             for n in extra.iter_mut() {
                 n.consume(&mut self.medium);
@@ -244,6 +341,30 @@ mod tests {
         let s2 = ScenarioBuilder::new(ScenarioConfig::paper_no_shield(1)).build();
         assert!(s2.shield.is_none());
         assert_eq!(s2.medium.antenna_count(), 1);
+    }
+
+    #[test]
+    fn two_patient_ward_builds_with_distinct_identities() {
+        let mut b = ScenarioBuilder::new(ScenarioConfig::paper(5));
+        let idx = b.add_patient((6.0, 0.0), ImdModel::ConcertoCrt);
+        let s = b.build();
+        assert_eq!(idx, 0);
+        assert_eq!(s.patients.len(), 1);
+        // 2 × (imd + 2 shield antennas).
+        assert_eq!(s.medium.antenna_count(), 6);
+        let p = &s.patients[0];
+        assert_ne!(p.imd.config().serial, s.imd.config().serial);
+        // Patient B's body-contact coupling matches the primary's
+        // calibration: IMD-at-own-shield ≈ −85 dBm.
+        let g = s.medium.gain(p.imd.antenna(), p.shield.rx_antenna());
+        let rx_dbm = p.imd.config().tx_power_dbm + db_from_ratio(g.norm_sq());
+        assert!(
+            (rx_dbm - (-85.0)).abs() < 1.0,
+            "ward IMD at shield: {rx_dbm} dBm"
+        );
+        // Cross-patient link is far weaker than the body-contact link.
+        let cross = s.medium.gain(s.imd.antenna(), p.shield.rx_antenna());
+        assert!(db_from_ratio(cross.norm_sq()) < db_from_ratio(g.norm_sq()) - 10.0);
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! Regenerates every table and figure of the paper's evaluation (§10–§11)
-//! and writes paper-style reports plus CSV data under `results/`.
+//! plus the extension scenarios, and writes paper-style reports plus CSV
+//! and JSON data under `results/`.
+//!
+//! This is a thin walk over the experiment registry — the list of what
+//! runs lives in `hb_testbed::experiments::registry`, not here. For
+//! finer-grained control (single experiments, JSON to stdout, thread
+//! pinning) use the `hb_eval` binary instead.
 //!
 //! Run with:
 //!   `cargo run --release --example full_evaluation`            (quick)
 //!   `cargo run --release --example full_evaluation -- --full`  (paper-scale)
 
-use heartbeats::testbed::experiments::{self, Effort};
+use heartbeats::testbed::experiments::registry::{self, EvalCtx};
+use heartbeats::testbed::experiments::Effort;
 use heartbeats::testbed::report::Artifact;
 use std::fs;
 use std::time::Instant;
@@ -17,7 +24,7 @@ fn main() {
     } else {
         Effort::quick()
     };
-    let seed = 20110815; // SIGCOMM'11 started August 15, 2011
+    let ctx = EvalCtx::new(effort, registry::DEFAULT_SEED);
     fs::create_dir_all("results").expect("create results dir");
 
     println!(
@@ -27,65 +34,28 @@ fn main() {
 
     let t0 = Instant::now();
     let mut artifacts: Vec<Artifact> = Vec::new();
-
-    macro_rules! run_exp {
-        ($name:literal, $art:expr) => {{
-            let t = Instant::now();
-            let artifact = $art;
-            println!("{} done in {:.1}s", $name, t.elapsed().as_secs_f64());
-            artifacts.push(artifact);
-        }};
+    for exp in registry::registry() {
+        let t = Instant::now();
+        let (artifact, stem) = registry::run_one(*exp, &ctx);
+        println!(
+            "{:<21} done in {:.1}s",
+            exp.name(),
+            t.elapsed().as_secs_f64()
+        );
+        fs::write(format!("results/{stem}.csv"), artifact.to_csv()).expect("write csv");
+        fs::write(format!("results/{stem}.json"), artifact.to_json()).expect("write json");
+        artifacts.push(artifact);
     }
 
-    run_exp!("fig3 ", experiments::fig3::run(effort, seed).artifact);
-    run_exp!("fig4 ", experiments::fig4::run(effort, seed).artifact);
-    run_exp!("fig5 ", experiments::fig5::run(effort, seed).artifact);
-    run_exp!("fig7 ", experiments::fig7::run(effort, seed).artifact);
-    run_exp!("fig8 ", experiments::fig8::run(effort, seed).artifact);
-    run_exp!("fig9 ", experiments::fig9::run(effort, seed).artifact);
-    run_exp!("fig10", experiments::fig10::run(effort, seed).artifact);
-    run_exp!("fig11", experiments::fig11::run(effort, seed).artifact);
-    run_exp!("fig12", experiments::fig12::run(effort, seed).artifact);
-    run_exp!("fig13", experiments::fig13::run(effort, seed).artifact);
-    run_exp!("tab1 ", experiments::table1::run(effort, seed).artifact);
-    run_exp!("tab2 ", experiments::table2::run(effort, seed).artifact);
-    run_exp!(
-        "abl-shape",
-        experiments::ablation::jam_shape(effort, seed).artifact
-    );
-    run_exp!(
-        "abl-G",
-        experiments::ablation::cancellation_sweep(effort, seed).artifact
-    );
-    run_exp!(
-        "abl-turnaround",
-        experiments::ablation::turnaround(effort, seed).artifact
-    );
-    run_exp!(
-        "abl-wear",
-        experiments::ablation::wearability(effort, seed).artifact
-    );
-    run_exp!(
-        "abl-rf",
-        experiments::ablation::robustness(effort, seed).artifact
-    );
-    run_exp!("battery", experiments::battery::run(effort, seed).artifact);
-
-    // Write reports.
     let mut report = String::new();
     for a in &artifacts {
         report.push_str(&a.render());
         report.push('\n');
-        let file = format!(
-            "results/{}.csv",
-            a.id.to_lowercase().replace(' ', "_").replace(':', "")
-        );
-        fs::write(&file, a.to_csv()).expect("write csv");
     }
     fs::write("results/evaluation.txt", &report).expect("write report");
     println!("\n{report}");
     println!(
-        "total {:.1}s; reports in results/evaluation.txt and results/*.csv",
+        "total {:.1}s; reports in results/evaluation.txt, results/*.csv, results/*.json",
         t0.elapsed().as_secs_f64()
     );
 }

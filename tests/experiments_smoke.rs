@@ -32,7 +32,9 @@ fn fig7_smoke() {
 
 #[test]
 fn fig9_single_location_smoke() {
-    let ber = experiments::fig9::ber_at_location(5, 3, SEED);
+    // 6 packets: enough samples that the BER estimate clears the ±0.1
+    // bound with margin (grow rather than loosen — ROADMAP).
+    let ber = experiments::fig9::ber_at_location(5, 6, SEED);
     assert!((ber - 0.5).abs() < 0.1, "BER {ber}");
 }
 
@@ -147,4 +149,36 @@ fn table2_smoke() {
 fn battery_smoke() {
     let r = experiments::battery::run(Effort::tiny(), SEED);
     assert!(r.replies_per_s_absent > r.replies_per_s_present);
+}
+
+#[test]
+fn ward_smoke() {
+    let r = experiments::ward::run(
+        Effort {
+            packets_per_location: 2,
+            ..Effort::tiny()
+        },
+        SEED,
+    );
+    assert_eq!(r.rows.len(), 4);
+    for row in &r.rows {
+        // Staggered ward access must beat (or tie) the collided deadlock.
+        assert!(
+            row.per_a_staggered.max(row.per_b_staggered) <= row.per_collided,
+            "staggered access must not lose more packets than collided at {} m",
+            row.separation_m
+        );
+    }
+}
+
+#[test]
+fn mobile_smoke() {
+    let r = experiments::mobile::run(Effort::tiny(), SEED);
+    assert_eq!(r.rows.len(), experiments::mobile::WAYPOINTS);
+    let p_absent: f64 = r.rows.iter().map(|&(_, p, _, _)| p).sum();
+    let p_present: f64 = r.rows.iter().map(|&(_, _, p, _)| p).sum();
+    assert!(
+        p_present <= p_absent,
+        "shield must not increase the walker's success ({p_present} vs {p_absent})"
+    );
 }
