@@ -199,6 +199,37 @@ fn main() {
         ));
     }
     {
+        // The batched NoiseSource on a pooled buffer — the allocation-free
+        // form every Medium receive and jam synthesis path uses.
+        let mut rng = StdRng::seed_from_u64(5);
+        let src = hb_dsp::noise::NoiseSource::new(1.0);
+        let mut buf = vec![hb_dsp::C64::ZERO; 65_536];
+        timings.push(time_kernel(
+            "noise_fill_64k",
+            "65536 complex Gaussian samples into a pooled buffer (batched paired Box-Muller)",
+            10 * scale,
+            move || {
+                src.fill(&mut rng, &mut buf);
+                std::hint::black_box(buf.last().copied());
+            },
+        ));
+    }
+    {
+        // The phase-recurrence oscillator that replaced per-sample sin/cos
+        // in FSK modulation and CFO rotation.
+        let mut osc = hb_dsp::osc::Rotator::new(0.0, 2.0 * std::f64::consts::PI * 50e3 / 300e3);
+        let mut buf = vec![hb_dsp::C64::ZERO; 65_536];
+        timings.push(time_kernel(
+            "osc_rotator_64k",
+            "65536 complex tone samples via the rotator recurrence",
+            10 * scale,
+            move || {
+                osc.fill(&mut buf);
+                std::hint::black_box(buf.last().copied());
+            },
+        ));
+    }
+    {
         let mut jam = JamSignal::shaped_for_fsk(FskParams::mics_default(), 256);
         jam.set_power_dbm(-35.0);
         let mut rng = StdRng::seed_from_u64(4);

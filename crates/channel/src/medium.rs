@@ -397,8 +397,11 @@ impl Medium {
                 }
             } else {
                 // Per-block rotator phasors, shared by every link with the
-                // same relative offset (bit-exact with the direct
-                // per-sample `C64::cis` evaluation it replaces).
+                // same relative offset. Filled by a phase-recurrence
+                // oscillator: one `cis` for the block's start phase, then
+                // a complex multiply per sample (within an ulp of the
+                // direct per-sample `cis`; the golden suite pins the
+                // recurrence engine).
                 let key = dcfo.to_bits();
                 let cached = self.cfo_phasors[..self.cfo_phasors_len]
                     .iter()
@@ -413,9 +416,8 @@ impl Medium {
                         let entry = &mut self.cfo_phasors[self.cfo_phasors_len];
                         entry.0 = key;
                         entry.1.clear();
-                        entry.1.extend(
-                            (0..block_len).map(|i| C64::cis(w * (block_start + i as u64) as f64)),
-                        );
+                        let mut osc = hb_dsp::osc::Rotator::new(w * block_start as f64, w);
+                        entry.1.extend((0..block_len).map(|_| osc.next()));
                         self.cfo_phasors_len += 1;
                         self.cfo_phasors_len - 1
                     }

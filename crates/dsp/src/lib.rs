@@ -10,8 +10,13 @@
 //! * [`fir`] — windowed-sinc filter design and streaming filters (the
 //!   shield's channelizer and the eavesdropper's band-pass attack).
 //! * [`goertzel`] — single-bin DFT (the FSK tone matched filter).
+//! * [`kernels`] — batched, branch-free `ln`/`sincos` kernels for the hot
+//!   noise and oscillator paths (autovectorizable).
 //! * [`noise`] — white and **PSD-shaped** Gaussian noise (the jamming
-//!   signal construction of §6(a) of the paper).
+//!   signal construction of §6(a) of the paper), batched via
+//!   [`noise::NoiseSource`].
+//! * [`osc`] — phase-recurrence oscillators (tone synthesis without
+//!   per-sample trig).
 //! * [`spectrum`] — Welch PSD estimation and power profiles (Fig. 4/5).
 //! * [`cfo`] — carrier frequency offset modeling and estimation.
 //! * [`window`], [`special`], [`units`], [`stats`] — supporting math.
@@ -26,7 +31,9 @@ pub mod complex;
 pub mod fft;
 pub mod fir;
 pub mod goertzel;
+pub mod kernels;
 pub mod noise;
+pub mod osc;
 pub mod special;
 pub mod spectrum;
 pub mod stats;

@@ -10,31 +10,92 @@
 
 use crate::complex::{mean_power, C64};
 use crate::fft::{is_pow2, FftPlan};
+use crate::kernels::boxmuller_batch;
 use rand::Rng;
 use std::f64::consts::PI;
 
 /// Draws one standard normal variate via the Box–Muller transform.
 ///
-/// We implement this directly on `rand::Rng` instead of pulling in
-/// `rand_distr`; two uniforms per pair of normals is plenty fast for the
-/// simulator.
+/// Scalar path for cold call sites (shadowing draws, fading taps,
+/// heartbeat jitter). Consumption is **fixed**: exactly two uniforms per
+/// call — the historical `u1 > 1e-300` *rejection* loop consumed a
+/// data-dependent number of uniforms, so the stream position after `n`
+/// calls was not a pure function of `n`; the guard is now a *clamp*
+/// (`max(1e-300)`), which truncates the output at ~37σ with probability
+/// 2⁻⁵³ per draw — statistically indistinguishable, and deterministic in
+/// stream position. The batched [`NoiseSource`] uses the same clamp.
+///
+/// Note the cosine variate is kept and the sine discarded, so this path's
+/// stream is *not* the same as [`NoiseSource`]'s paired transform; hot
+/// loops should fill buffers through [`NoiseSource`]/[`white_noise_into`]
+/// instead of calling this per sample.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Avoid ln(0).
-    let u1: f64 = loop {
-        let u: f64 = rng.gen();
-        if u > 1e-300 {
-            break u;
-        }
-    };
+    let u1: f64 = rng.gen::<f64>().max(1e-300); // clamp, not reject: see above
     let u2: f64 = rng.gen();
     (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
 }
 
 /// Draws one circularly-symmetric complex Gaussian sample with total
 /// variance `variance` (i.e. `variance/2` per real dimension).
+///
+/// Scalar path (two [`standard_normal`] calls, four uniforms); buffer
+/// fills should use [`NoiseSource`], which needs half the uniforms and
+/// batches the transcendentals.
 pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> C64 {
     let s = (variance / 2.0).sqrt();
     C64::new(standard_normal(rng) * s, standard_normal(rng) * s)
+}
+
+/// A batched generator of white circularly-symmetric complex Gaussian
+/// noise — the engine's hot noise path (receiver floors, impulse bursts,
+/// the jamming waveform's frequency-domain draws).
+///
+/// One output sample consumes exactly **two** uniforms `(u₁, u₂)` and is
+/// the *paired* Box–Muller transform: radius `√(−ln u₁ · power)` and
+/// phase `2π·u₂` yield `re = r·cos`, `im = r·sin` — both variates of the
+/// pair are kept (the scalar path discards the sine), halving uniform
+/// consumption. The uniforms are staged directly in the output buffer and
+/// transformed in place by the fused, branch-free
+/// [`crate::kernels::boxmuller_batch`] — one sequential RNG pass, one
+/// straight-line math pass the compiler can vectorize, zero scratch.
+///
+/// Determinism contract: the stream position after `n` samples is exactly
+/// `2n` `u64` draws — a pure function of the sample index, with no
+/// data-dependent rejection (`u₁` is clamped to `1e-300`, reached with
+/// probability 2⁻⁵³) — and the sample values do not depend on how a fill
+/// is split across calls: filling 64k samples in one call or in many
+/// arbitrary-sized calls from the same RNG produces identical bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSource {
+    /// Average sample power (linear).
+    power: f64,
+}
+
+impl NoiseSource {
+    /// Creates a source with average sample power `power` (linear).
+    pub fn new(power: f64) -> Self {
+        assert!(power >= 0.0, "noise power must be non-negative");
+        NoiseSource { power }
+    }
+
+    /// Average sample power (linear).
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Fills `out` with noise, consuming exactly `2 · out.len()` uniforms.
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [C64]) {
+        // Pass 1 — sequential RNG draws (the xoshiro recurrence cannot
+        // vectorize), staged into the output buffer itself, interleaved
+        // per sample so sample k always consumes draws (2k, 2k+1)
+        // regardless of how fills are chunked across calls.
+        for v in out.iter_mut() {
+            v.re = rng.gen::<f64>().max(1e-300); // fixed-consumption clamp
+            v.im = rng.gen();
+        }
+        // Pass 2 — the fused branch-free Box–Muller transform in place.
+        boxmuller_batch(out, -self.power);
+    }
 }
 
 /// Generates `n` samples of white complex Gaussian noise with average power
@@ -48,11 +109,10 @@ pub fn white_noise<R: Rng + ?Sized>(rng: &mut R, n: usize, power: f64) -> Vec<C6
 /// Fills `out` with white complex Gaussian noise with average power `power`
 /// (linear). Identical RNG consumption and output to [`white_noise`] of the
 /// same length — this is the allocation-free form the simulation hot loop
-/// uses on its pooled buffers.
+/// uses on its pooled buffers. Delegates to the batched [`NoiseSource`]
+/// (two uniforms per sample, split-invariant across calls).
 pub fn white_noise_into<R: Rng + ?Sized>(rng: &mut R, out: &mut [C64], power: f64) {
-    for s in out.iter_mut() {
-        *s = complex_gaussian(rng, power);
-    }
+    NoiseSource::new(power).fill(rng, out);
 }
 
 /// A generator of random noise whose power spectral density follows a caller
@@ -124,10 +184,15 @@ impl ShapedNoise {
     /// Generates one block of shaped noise into `out` (resized to
     /// [`ShapedNoise::block_len`]). Identical RNG consumption and output to
     /// [`ShapedNoise::block`], reusing the buffer's allocation.
+    ///
+    /// The per-bin draws ride the batched [`NoiseSource`] (unit-power fill,
+    /// then a per-bin amplitude pass), so jam synthesis shares the same
+    /// two-uniforms-per-bin kernel as the white-noise path.
     pub fn block_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<C64>) {
         out.resize(self.bin_scale.len(), C64::ZERO);
+        NoiseSource::new(1.0).fill(rng, out);
         for (v, &s) in out.iter_mut().zip(self.bin_scale.iter()) {
-            *v = complex_gaussian(rng, s * s);
+            *v = v.scale(s);
         }
         self.plan.inverse(out);
     }
@@ -172,6 +237,84 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn noise_source_moments_are_standard() {
+        // Per-dimension mean 0, variance power/2; fourth moment consistent
+        // with a Gaussian (kurtosis 3 per dimension).
+        let mut rng = StdRng::seed_from_u64(23);
+        let src = NoiseSource::new(2.0);
+        let mut v = vec![C64::ZERO; 200_000];
+        src.fill(&mut rng, &mut v);
+        let n = v.len() as f64;
+        let mean_re = v.iter().map(|s| s.re).sum::<f64>() / n;
+        let mean_im = v.iter().map(|s| s.im).sum::<f64>() / n;
+        assert!(mean_re.abs() < 0.01, "mean re {mean_re}");
+        assert!(mean_im.abs() < 0.01, "mean im {mean_im}");
+        let var_re = v.iter().map(|s| s.re * s.re).sum::<f64>() / n;
+        let var_im = v.iter().map(|s| s.im * s.im).sum::<f64>() / n;
+        assert!((var_re - 1.0).abs() < 0.02, "var re {var_re}");
+        assert!((var_im - 1.0).abs() < 0.02, "var im {var_im}");
+        let kurt = v.iter().map(|s| s.re.powi(4)).sum::<f64>() / n / (var_re * var_re);
+        assert!((kurt - 3.0).abs() < 0.15, "kurtosis {kurt}");
+    }
+
+    #[test]
+    fn noise_source_is_circularly_symmetric() {
+        // E[x²] ≈ 0 (pseudo-variance) and re/im are uncorrelated — the
+        // paired Box–Muller keeps both properties because (r·cosθ, r·sinθ)
+        // with θ uniform is rotation-invariant.
+        let mut rng = StdRng::seed_from_u64(29);
+        let src = NoiseSource::new(1.0);
+        let mut v = vec![C64::ZERO; 200_000];
+        src.fill(&mut rng, &mut v);
+        let pseudo: C64 = v.iter().map(|&x| x * x).sum::<C64>() / v.len() as f64;
+        assert!(pseudo.abs() < 0.01, "pseudo-variance {pseudo}");
+        let cross = v.iter().map(|s| s.re * s.im).sum::<f64>() / v.len() as f64;
+        assert!(cross.abs() < 0.01, "re/im correlation {cross}");
+    }
+
+    #[test]
+    fn split_fills_match_one_big_fill_bit_for_bit() {
+        // The determinism contract: 64k samples in one call == the same
+        // 64k in many arbitrary-sized calls, from the same RNG state.
+        let n = 65_536;
+        let mut whole = vec![C64::ZERO; n];
+        white_noise_into(&mut StdRng::seed_from_u64(77), &mut whole, 1.7);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut split = Vec::with_capacity(n);
+        let mut sizes = [1usize, 3, 7, 63, 64, 65, 640, 4096, 10_000].iter().cycle();
+        while split.len() < n {
+            let take = (*sizes.next().unwrap()).min(n - split.len());
+            let mut part = vec![C64::ZERO; take];
+            white_noise_into(&mut rng, &mut part, 1.7);
+            split.extend(part);
+        }
+        for (i, (a, b)) in whole.iter().zip(split.iter()).enumerate() {
+            assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "sample {i}: {a} != {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_source_consumes_exactly_two_uniforms_per_sample() {
+        // Stream position is a pure function of sample count: after
+        // filling n samples, an independent draw must see the RNG exactly
+        // 2n u64s ahead.
+        use rand::RngCore;
+        for n in [1usize, 63, 64, 65, 1000] {
+            let mut a = StdRng::seed_from_u64(5);
+            let mut buf = vec![C64::ZERO; n];
+            NoiseSource::new(0.5).fill(&mut a, &mut buf);
+            let mut b = StdRng::seed_from_u64(5);
+            for _ in 0..2 * n {
+                b.next_u64();
+            }
+            assert_eq!(a.next_u64(), b.next_u64(), "consumption at n={n}");
+        }
     }
 
     #[test]

@@ -1,16 +1,32 @@
 //! Golden determinism tests: pin exact experiment outputs for fixed seeds.
 //!
-//! The values below were captured from the engine *before* the
-//! zero-allocation `Medium` / parallel-sweep rework (PR 2) and must be
-//! reproduced bit-identically by the refactored engine, at any thread
+//! The values below pin the engine's numerics — the RNG stream, the mixing
+//! arithmetic, the modulation oscillator — bit-identically, at any thread
 //! count. They are the refactor-safety net the ROADMAP asks for: any
-//! change to the RNG stream, the mixing arithmetic, or the modulation
-//! numerics shows up here as a hard failure rather than a silent drift in
-//! the statistical experiments.
+//! unintended numeric change shows up here as a hard failure rather than a
+//! silent drift in the statistical experiments.
 //!
-//! If a deliberate numerics change invalidates them, re-capture with
-//! `cargo test -p hb_testbed --test golden -- --nocapture` (each test
-//! prints its measured values) and say so in the PR description.
+//! # Re-pin policy
+//!
+//! Goldens are re-captured **only** for deliberate engine-numeric changes
+//! (a new RNG-consumption pattern, a different noise transform, an
+//! oscillator swap) — one re-pin per such PR, called out in its
+//! description. They are **never** re-pinned to make a statistical
+//! experiment meet a paper bound: if a statistical test trips after a
+//! legitimate re-pin, grow its sample count and keep the asserted bound
+//! unchanged (ROADMAP, "known-flaky area").
+//!
+//! To re-capture, run
+//!
+//! ```text
+//! HB_BLESS=1 cargo test -p hb_testbed --test golden -- --nocapture
+//! ```
+//!
+//! which prints ready-to-paste `const GOLDEN_…` lines instead of failing;
+//! paste them over the constants at the bottom of this file. The current
+//! constants were captured on the PR-4 engine (batched paired Box–Muller
+//! noise + phase-recurrence oscillators); PR 1–3 pinned the seed engine's
+//! per-sample Box–Muller stream.
 
 use hb_adversary::active::AttackerConfig;
 use hb_channel::geometry::Placement;
@@ -19,19 +35,46 @@ use hb_dsp::complex::C64;
 use hb_testbed::experiments::fig11::{success_probability, AttackGoal};
 use hb_testbed::experiments::{fig8, fig9};
 
-/// Exact-equality helper that prints the measured value on mismatch so a
-/// deliberate re-capture is a copy-paste.
-fn assert_bits(name: &str, measured: f64, expected: f64) {
+/// Exact-equality helper for the canonical pin of each constant. With
+/// `HB_BLESS=1` it prints a ready-to-paste `const` line and skips the
+/// assertion (re-capture mode); otherwise any mismatch also prints the
+/// measured value, so a one-off diff is easy to inspect. Each `GOLDEN_*`
+/// constant must flow through this from exactly one call site, so a bless
+/// run emits each line once; secondary cross-checks of the same constant
+/// use [`assert_matches_golden`].
+fn assert_bits(const_name: &str, measured: f64, expected: f64) {
+    if std::env::var_os("HB_BLESS").is_some() {
+        println!("const {const_name}: f64 = {measured:?};");
+        return;
+    }
     println!(
-        "golden {name}: measured {measured:?} (bits {:#x})",
+        "golden {const_name}: measured {measured:?} (bits {:#x})",
         measured.to_bits()
     );
-    if std::env::var_os("HB_GOLDEN_CAPTURE").is_some() {
-        return; // capture mode: print only, used to (re-)record the constants
-    }
     assert!(
         measured.to_bits() == expected.to_bits(),
-        "{name}: measured {measured:?} != golden {expected:?}"
+        "{const_name}: measured {measured:?} != golden {expected:?} \
+         (deliberate numerics change? re-capture with HB_BLESS=1, see header)"
+    );
+}
+
+/// Like [`assert_bits`] but for *secondary* checks that re-pin a constant
+/// from another path (e.g. the thread-count-invariance sweep): in bless
+/// mode it prints a comment, not a pasteable `const` line, so re-capture
+/// output never contains duplicate or syntactically invalid definitions.
+fn assert_matches_golden(label: &str, measured: f64, expected: f64) {
+    if std::env::var_os("HB_BLESS").is_some() {
+        println!("// cross-check {label}: {measured:?}");
+        return;
+    }
+    println!(
+        "golden {label}: measured {measured:?} (bits {:#x})",
+        measured.to_bits()
+    );
+    assert!(
+        measured.to_bits() == expected.to_bits(),
+        "{label}: measured {measured:?} != golden {expected:?} \
+         (deliberate numerics change? re-capture with HB_BLESS=1, see header)"
     );
 }
 
@@ -39,23 +82,23 @@ fn assert_bits(name: &str, measured: f64, expected: f64) {
 fn golden_fig8_operating_point() {
     // The paper's +20 dB operating point: adversary guesses, shield decodes.
     let (ber, per) = fig8::run_margin_point(20.0, 6, 7);
-    assert_bits("fig8@20dB ber", ber, GOLDEN_FIG8_20DB_BER);
-    assert_bits("fig8@20dB per", per, GOLDEN_FIG8_20DB_PER);
+    assert_bits("GOLDEN_FIG8_20DB_BER", ber, GOLDEN_FIG8_20DB_BER);
+    assert_bits("GOLDEN_FIG8_20DB_PER", per, GOLDEN_FIG8_20DB_PER);
 }
 
 #[test]
 fn golden_fig8_low_margin() {
     let (ber, per) = fig8::run_margin_point(0.0, 6, 11);
-    assert_bits("fig8@0dB ber", ber, GOLDEN_FIG8_0DB_BER);
-    assert_bits("fig8@0dB per", per, GOLDEN_FIG8_0DB_PER);
+    assert_bits("GOLDEN_FIG8_0DB_BER", ber, GOLDEN_FIG8_0DB_BER);
+    assert_bits("GOLDEN_FIG8_0DB_PER", per, GOLDEN_FIG8_0DB_PER);
 }
 
 #[test]
 fn golden_fig9_locations() {
     let near = fig9::ber_at_location(1, 3, 3);
     let far = fig9::ber_at_location(13, 3, 16);
-    assert_bits("fig9 loc1", near, GOLDEN_FIG9_LOC1_BER);
-    assert_bits("fig9 loc13", far, GOLDEN_FIG9_LOC13_BER);
+    assert_bits("GOLDEN_FIG9_LOC1_BER", near, GOLDEN_FIG9_LOC1_BER);
+    assert_bits("GOLDEN_FIG9_LOC13_BER", far, GOLDEN_FIG9_LOC13_BER);
 }
 
 #[test]
@@ -66,8 +109,12 @@ fn golden_fig11_success_counts() {
     let cfg = AttackerConfig::commercial_programmer();
     let absent = success_probability(7, false, &cfg, AttackGoal::ElicitReply, 3, 5);
     let present = success_probability(7, true, &cfg, AttackGoal::ElicitReply, 3, 5);
-    assert_bits("fig11 loc7 absent", absent, GOLDEN_FIG11_LOC7_ABSENT);
-    assert_bits("fig11 loc7 present", present, GOLDEN_FIG11_LOC7_PRESENT);
+    assert_bits("GOLDEN_FIG11_LOC7_ABSENT", absent, GOLDEN_FIG11_LOC7_ABSENT);
+    assert_bits(
+        "GOLDEN_FIG11_LOC7_PRESENT",
+        present,
+        GOLDEN_FIG11_LOC7_PRESENT,
+    );
 }
 
 #[test]
@@ -108,9 +155,9 @@ fn golden_medium_mixing_checksum() {
         }
         m.end_block();
     }
-    assert_bits("medium acc.re", acc.re, GOLDEN_MEDIUM_ACC_RE);
-    assert_bits("medium acc.im", acc.im, GOLDEN_MEDIUM_ACC_IM);
-    assert_bits("medium acc_pow", acc_pow, GOLDEN_MEDIUM_ACC_POW);
+    assert_bits("GOLDEN_MEDIUM_ACC_RE", acc.re, GOLDEN_MEDIUM_ACC_RE);
+    assert_bits("GOLDEN_MEDIUM_ACC_IM", acc.im, GOLDEN_MEDIUM_ACC_IM);
+    assert_bits("GOLDEN_MEDIUM_ACC_POW", acc_pow, GOLDEN_MEDIUM_ACC_POW);
 }
 
 #[test]
@@ -133,24 +180,30 @@ fn golden_sweep_is_thread_count_invariant() {
             locations[i]
         );
     }
-    assert_bits("sweep loc1 (1 thread)", sequential[0], GOLDEN_FIG9_LOC1_BER);
-    assert_bits(
-        "sweep loc13 (4 threads)",
+    assert_matches_golden(
+        "GOLDEN_FIG9_LOC1_BER (sweep, 1 thread)",
+        sequential[0],
+        GOLDEN_FIG9_LOC1_BER,
+    );
+    assert_matches_golden(
+        "GOLDEN_FIG9_LOC13_BER (sweep, 4 threads)",
         threaded[2],
         GOLDEN_FIG9_LOC13_BER,
     );
 }
 
-// --- Golden values, captured on the pre-refactor engine (PR 1 tree) ---
+// --- Golden values, captured with HB_BLESS=1 on the PR-4 engine ---
+// (batched paired Box–Muller NoiseSource + phase-recurrence oscillators;
+// previous constants pinned the seed engine's per-sample Box–Muller.)
 
-const GOLDEN_FIG8_20DB_BER: f64 = 0.48333333333333334;
+const GOLDEN_FIG8_20DB_BER: f64 = 0.525;
 const GOLDEN_FIG8_20DB_PER: f64 = 0.0;
-const GOLDEN_FIG8_0DB_BER: f64 = 0.3975;
+const GOLDEN_FIG8_0DB_BER: f64 = 0.39416666666666667;
 const GOLDEN_FIG8_0DB_PER: f64 = 0.0;
-const GOLDEN_FIG9_LOC1_BER: f64 = 0.5033333333333333;
-const GOLDEN_FIG9_LOC13_BER: f64 = 0.47333333333333333;
+const GOLDEN_FIG9_LOC1_BER: f64 = 0.495;
+const GOLDEN_FIG9_LOC13_BER: f64 = 0.4683333333333333;
 const GOLDEN_FIG11_LOC7_ABSENT: f64 = 1.0;
 const GOLDEN_FIG11_LOC7_PRESENT: f64 = 0.0;
-const GOLDEN_MEDIUM_ACC_RE: f64 = -36.98158389374618;
-const GOLDEN_MEDIUM_ACC_IM: f64 = 758.3889453473033;
-const GOLDEN_MEDIUM_ACC_POW: f64 = 10372.929031613423;
+const GOLDEN_MEDIUM_ACC_RE: f64 = -36.98071628594399;
+const GOLDEN_MEDIUM_ACC_IM: f64 = 758.3916918838473;
+const GOLDEN_MEDIUM_ACC_POW: f64 = 10372.866069730535;
