@@ -1,7 +1,7 @@
 //! The passive eavesdropper (§3.2(a) of the paper).
 //!
 //! Records everything on a channel and decodes IMD transmissions with the
-//! "optimal FSK decoder" [38] — noncoherent matched filtering. We grant
+//! "optimal FSK decoder" \[38\] — noncoherent matched filtering. We grant
 //! the adversary *perfect symbol timing* (the experiment harness tells it
 //! exactly when each IMD frame started, from the ground-truth transmit
 //! log): a strictly stronger adversary than one that must also recover

@@ -188,6 +188,30 @@ fn main() {
         ));
     }
     {
+        // The raw blocked MAC stage alone (stage (a) of the detector):
+        // isolates the correlator kernel from the per-symbol state machine.
+        // `detection_correlator` is the exact constructor the production
+        // detectors use, so this times the same filter they run.
+        let wave = wave.clone();
+        let params = FskParams::mics_default();
+        let sps = params.samples_per_symbol();
+        let mut corr = hb_phy::stream::detection_correlator(params);
+        let (mut e0, mut e1) = (Vec::new(), Vec::new());
+        timings.push(time_kernel(
+            "detector_sweep_24k",
+            "24576 samples through the raw blocked 24-phase MAC stage",
+            10 * scale,
+            move || {
+                e0.clear();
+                e1.clear();
+                for (i, block) in wave.chunks(16).enumerate() {
+                    corr.process_block(block, (i * 16) % sps, &mut e0, &mut e1);
+                }
+                std::hint::black_box(e1.last().copied());
+            },
+        ));
+    }
+    {
         let mut rng = StdRng::seed_from_u64(3);
         timings.push(time_kernel(
             "white_noise_4k",

@@ -12,7 +12,7 @@
 //!   a 20 cm adversary as for the shield's own antennas a few cm apart
 //!   (calibrated against Fig. 8a and Fig. 13 of the paper).
 //! * **Body**: a fixed in-body attenuation applied per body-boundary
-//!   crossing; §7(b) cites "as high as 40 dB" for implant depth [47].
+//!   crossing; §7(b) cites "as high as 40 dB" for implant depth \[47\].
 //! * **NLOS**: a fixed penalty for non-line-of-sight placements plus
 //!   per-link lognormal shadowing.
 

@@ -6,7 +6,7 @@
 //! and the programmer."* This module realizes that channel:
 //!
 //! * pre-shared 256-bit key (provisioned out of band, e.g. at the clinic —
-//!   the paper cites both in-band [19] and out-of-band [28] pairing);
+//!   the paper cites both in-band \[19\] and out-of-band \[28\] pairing);
 //! * per-direction monotonic counters carried in the nonce — replayed or
 //!   reordered frames are rejected;
 //! * ChaCha20-Poly1305 sealing with the header as associated data.

@@ -1,0 +1,586 @@
+//! Blocked multi-phase matched-filter correlator — the streaming
+//! detection front end shared by `hb_phy`'s `StreamingDetector` and
+//! `SidMonitor`.
+//!
+//! # The problem it solves
+//!
+//! A streaming FSK receiver does not know where symbol boundaries fall, so
+//! it correlates the incoming samples against both tone templates at
+//! **every** sub-symbol alignment ("phase") simultaneously: with `sps`
+//! samples per symbol it maintains `sps` pairs of tone accumulators
+//! `(c0, c1)`, and exactly one phase completes a symbol on every sample.
+//! Done naively (one pass over all phases per sample, each reading a
+//! different matched-filter position) this was the simulator's largest
+//! remaining kernel: the per-phase filter positions walk *backwards*
+//! through the template and the accumulators interleave `(c0, c1)` pairs,
+//! so the compiler cannot vectorize the sweep.
+//!
+//! # The blocked kernel
+//!
+//! [`MultiPhaseCorrelator`] restructures the sweep so the hot loop is a
+//! dense, branch-free, **forward** pass the compiler autovectorizes, like
+//! [`crate::kernels::boxmuller_batch`]:
+//!
+//! * Accumulators are stored **structure-of-arrays**: contiguous
+//!   `[c0; sps]` then `[c1; sps]` slabs (split further into re/im planes),
+//!   so phase `p`'s update touches four contiguous `f64` streams.
+//! * The matched-filter tables are stored **reversed and doubled**
+//!   (`w[i] = mf[(sps-1-i) mod sps]`, length `2·sps`): for a sample at
+//!   symbol offset `base`, the template value phase `p` needs is
+//!   `w[(sps-1-base) + p]` — a *forward, contiguous* window into the
+//!   table, for every phase, with no modulo in the loop.
+//! * When the two tone templates are exact conjugates (always true for
+//!   binary FSK, whose tones sit at ±deviation), the four shared products
+//!   `s·re`, `s·im` per component serve **both** tones, halving the
+//!   multiply count. The fast path is taken only when the tables are
+//!   bitwise conjugates, and produces bit-identical sums either way.
+//!
+//! The per-sample cost is unchanged in operation *count* (`2·sps` complex
+//! MACs — each accumulator still sees the exact same additions in the
+//! exact same order), but the loop body is straight-line elementwise
+//! arithmetic over disjoint slices, which is what lets LLVM vectorize it.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-for-bit identical** to the historical per-sample
+//! sweep: every product is the same two-operand `a.re*b.re - a.im*b.im` /
+//! `a.re*b.im + a.im*b.re` complex multiply, every accumulator receives
+//! its contributions in the same order, and the emitted energies are the
+//! same `re² + im²`. They are also independent of how a stream is chunked
+//! into [`MultiPhaseCorrelator::process_block`] calls (pinned by unit and
+//! property tests, and by `hb_phy`'s old-vs-new detector equivalence
+//! suite). The golden determinism tests in `crates/testbed/tests/golden.rs`
+//! therefore pass unchanged across this kernel swap — no re-capture.
+//!
+//! # Example
+//!
+//! ```
+//! use hb_dsp::complex::C64;
+//! use hb_dsp::correlator::MultiPhaseCorrelator;
+//! use std::f64::consts::PI;
+//!
+//! // 4 samples/symbol at fs = 8 Hz; tones at -1 Hz (bit 0) and +1 Hz (bit 1).
+//! let sps = 4usize;
+//! let table = |f: f64| -> Vec<C64> {
+//!     (0..sps).map(|n| C64::cis(-2.0 * PI * f * n as f64 / 8.0)).collect()
+//! };
+//! let mut corr = MultiPhaseCorrelator::new(&table(-1.0), &table(1.0));
+//!
+//! // Two symbols of a pure +1 Hz tone ("1" bits), symbol-aligned.
+//! let samples: Vec<C64> = (0..8).map(|n| C64::cis(2.0 * PI * n as f64 / 8.0)).collect();
+//! let (mut e0, mut e1) = (Vec::new(), Vec::new());
+//! corr.process_block(&samples, 0, &mut e0, &mut e1);
+//!
+//! // Sample 3 completes phase 0's first full symbol: the 1-tone wins.
+//! assert_eq!(e0.len(), 8);
+//! assert!(e1[3] > e0[3]);
+//! assert!(e1[7] > e0[7]);
+//! ```
+
+use crate::complex::C64;
+
+/// A bank of `sps` per-phase `(c0, c1)` tone accumulators driven by a
+/// dense, autovectorizable per-sample MAC loop. See the module docs for
+/// the layout and determinism contract.
+#[derive(Debug, Clone)]
+pub struct MultiPhaseCorrelator {
+    sps: usize,
+    /// Reversed, doubled tone-0 template (re plane): `w0re[i]` is the real
+    /// part of `mf0[(sps-1-i) mod sps]`, for `i` in `0..2·sps`.
+    w0re: Vec<f64>,
+    /// Reversed, doubled tone-0 template (im plane).
+    w0im: Vec<f64>,
+    /// Reversed, doubled tone-1 template (re plane) — unused on the fused
+    /// conjugate-pair fast path.
+    w1re: Vec<f64>,
+    /// Reversed, doubled tone-1 template (im plane).
+    w1im: Vec<f64>,
+    /// True when `mf1[i]` is bitwise `conj(mf0[i])` for every `i` (binary
+    /// FSK's ±deviation tones): enables the shared-product fast path,
+    /// which is bit-identical to the generic path under this precondition.
+    conj_pair: bool,
+    /// Per-phase accumulators, structure-of-arrays: `c0` re/im planes then
+    /// `c1` re/im planes, each `sps` long.
+    a0re: Vec<f64>,
+    a0im: Vec<f64>,
+    a1re: Vec<f64>,
+    a1im: Vec<f64>,
+}
+
+impl MultiPhaseCorrelator {
+    /// Creates a correlator for one-symbol tone templates `mf0`/`mf1`
+    /// (typically `cis(-2π f n / fs)` for the two FSK tones).
+    ///
+    /// # Panics
+    /// Panics if the templates are empty or of different lengths.
+    pub fn new(mf0: &[C64], mf1: &[C64]) -> Self {
+        assert!(!mf0.is_empty(), "tone templates must not be empty");
+        assert_eq!(
+            mf0.len(),
+            mf1.len(),
+            "tone templates must be the same length"
+        );
+        let sps = mf0.len();
+        // Reversed and doubled: w[i] = mf[(sps-1-i) mod sps]. A sample at
+        // symbol offset `base` then reads the contiguous window starting
+        // at sps-1-base, one template value per phase, no modulo.
+        let rev = |mf: &[C64], f: fn(C64) -> f64| -> Vec<f64> {
+            (0..2 * sps)
+                .map(|i| f(mf[(2 * sps - 1 - i) % sps]))
+                .collect()
+        };
+        let conj_pair = mf0
+            .iter()
+            .zip(mf1.iter())
+            .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && (-a.im).to_bits() == b.im.to_bits());
+        MultiPhaseCorrelator {
+            sps,
+            w0re: rev(mf0, |c| c.re),
+            w0im: rev(mf0, |c| c.im),
+            w1re: rev(mf1, |c| c.re),
+            w1im: rev(mf1, |c| c.im),
+            conj_pair,
+            a0re: vec![0.0; sps],
+            a0im: vec![0.0; sps],
+            a1re: vec![0.0; sps],
+            a1im: vec![0.0; sps],
+        }
+    }
+
+    /// Samples per symbol (the number of phases swept).
+    pub fn sps(&self) -> usize {
+        self.sps
+    }
+
+    /// Zeroes every phase accumulator (the tables are immutable).
+    pub fn reset(&mut self) {
+        for a in [
+            &mut self.a0re,
+            &mut self.a0im,
+            &mut self.a1re,
+            &mut self.a1im,
+        ] {
+            a.fill(0.0);
+        }
+    }
+
+    /// Consumes `samples`, appending one `(e0, e1)` energy pair per sample
+    /// to `e0_out`/`e1_out`.
+    ///
+    /// `base0` is the symbol offset of the first sample (`tick mod sps` in
+    /// the caller's sample clock). The sample at offset `base` completes
+    /// the symbol of phase `(base + 1) mod sps`: its accumulated tone
+    /// correlations are emitted as squared magnitudes and the phase's
+    /// accumulators are zeroed for the next symbol. Callers recover the
+    /// completing phase as `(tick + 1) mod sps`.
+    ///
+    /// Output is appended (the buffers are not cleared), and is identical
+    /// no matter how a stream is split across calls.
+    ///
+    /// # Panics
+    /// Panics if `base0 >= sps`.
+    pub fn process_block(
+        &mut self,
+        samples: &[C64],
+        base0: usize,
+        e0_out: &mut Vec<f64>,
+        e1_out: &mut Vec<f64>,
+    ) {
+        assert!(base0 < self.sps, "base0 {base0} out of range");
+        e0_out.reserve(samples.len());
+        e1_out.reserve(samples.len());
+        if self.conj_pair {
+            mac_block_fused(
+                samples,
+                base0,
+                &self.w0re,
+                &self.w0im,
+                &mut self.a0re,
+                &mut self.a0im,
+                &mut self.a1re,
+                &mut self.a1im,
+                e0_out,
+                e1_out,
+            );
+        } else {
+            mac_block_generic(
+                samples,
+                base0,
+                [&self.w0re, &self.w0im, &self.w1re, &self.w1im],
+                &mut self.a0re,
+                &mut self.a0im,
+                &mut self.a1re,
+                &mut self.a1im,
+                e0_out,
+                e1_out,
+            );
+        }
+    }
+}
+
+/// The fused conjugate-pair MAC stage: mf1 = conj(mf0), so the four
+/// products `sr·tr`, `si·ti`, `sr·ti`, `si·tr` serve both tones —
+/// bit-identical to the generic path (multiplying by a negated factor
+/// negates the product exactly, and `x−(−y) ≡ x+y` in IEEE 754).
+///
+/// A standalone function on purpose (and `inline(never)`): the `&mut`
+/// slice parameters carry `noalias` across the call boundary, which is
+/// what lets LLVM vectorize the inner loop without emitting runtime
+/// alias checks between the accumulator planes and the table windows on
+/// every sample. (Inlined into the caller, everything is reached through
+/// `self` and the vectorizer guards each sample with a pile of overlap
+/// tests — measurably slower than the scalar sweep it replaces.)
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn mac_block_fused(
+    samples: &[C64],
+    base0: usize,
+    wre: &[f64],
+    wim: &[f64],
+    a0r: &mut [f64],
+    a0i: &mut [f64],
+    a1r: &mut [f64],
+    a1i: &mut [f64],
+    e0_out: &mut Vec<f64>,
+    e1_out: &mut Vec<f64>,
+) {
+    let sps = a0r.len();
+    let a0i = &mut a0i[..sps];
+    let a1r = &mut a1r[..sps];
+    let a1i = &mut a1i[..sps];
+    let mut base = base0;
+    // Samples are consumed two at a time: the accumulator planes are then
+    // loaded and stored once per *pair* instead of once per sample, which
+    // halves the store traffic the loop is actually bound by. Both
+    // contributions are applied as two sequential adds per lane, so every
+    // accumulator sees the exact rounding sequence of the one-sample-at-a-
+    // time walk. The one phase that completes *between* the two samples
+    // (`p1`) gets a scalar pre-step (its energies read the state after the
+    // first sample only) and a post-loop fix-up (its fresh symbol restarts
+    // from zero plus the second sample's contribution) — both computed
+    // with the identical products and adds, so the pair walk is
+    // bit-for-bit the same as the scalar walk.
+    let mut pairs = samples.chunks_exact(2);
+    for pair in &mut pairs {
+        let (sr0, si0) = (pair[0].re, pair[0].im);
+        let (sr1, si1) = (pair[1].re, pair[1].im);
+        let start0 = sps - 1 - base;
+        let p1 = if base + 1 == sps { 0 } else { base + 1 };
+        let start1 = sps - 1 - p1;
+        let p2 = if p1 + 1 == sps { 0 } else { p1 + 1 };
+
+        // Phase p1 completes after the first sample: extract its energies
+        // from (carried + first contribution) before the pair loop runs.
+        let (wr, wi) = (wre[start0 + p1], wim[start0 + p1]);
+        let t1 = sr0 * wr;
+        let t2 = si0 * wi;
+        let t3 = sr0 * wi;
+        let t4 = si0 * wr;
+        let i0r = a0r[p1] + (t1 - t2);
+        let i0i = a0i[p1] + (t3 + t4);
+        let i1r = a1r[p1] + (t1 + t2);
+        let i1i = a1i[p1] + (t4 - t3);
+        e0_out.push(i0r * i0r + i0i * i0i);
+        e1_out.push(i1r * i1r + i1i * i1i);
+
+        let wr0 = &wre[start0..start0 + sps];
+        let wi0 = &wim[start0..start0 + sps];
+        let wr1 = &wre[start1..start1 + sps];
+        let wi1 = &wim[start1..start1 + sps];
+        for p in 0..sps {
+            let t1 = sr0 * wr0[p];
+            let t2 = si0 * wi0[p];
+            let t3 = sr0 * wi0[p];
+            let t4 = si0 * wr0[p];
+            let mut r0 = a0r[p] + (t1 - t2);
+            let mut i0 = a0i[p] + (t3 + t4);
+            let mut r1 = a1r[p] + (t1 + t2);
+            let mut i1 = a1i[p] + (t4 - t3);
+            let u1 = sr1 * wr1[p];
+            let u2 = si1 * wi1[p];
+            let u3 = sr1 * wi1[p];
+            let u4 = si1 * wr1[p];
+            r0 += u1 - u2;
+            i0 += u3 + u4;
+            r1 += u1 + u2;
+            i1 += u4 - u3;
+            a0r[p] = r0;
+            a0i[p] = i0;
+            a1r[p] = r1;
+            a1i[p] = i1;
+        }
+
+        // Fix up p1: its completed symbol was emitted above, so its fresh
+        // accumulator restarts from zero plus the second sample's
+        // contribution (`0.0 + x`, exactly as the scalar walk computes it).
+        let (wr, wi) = (wre[start1 + p1], wim[start1 + p1]);
+        let u1 = sr1 * wr;
+        let u2 = si1 * wi;
+        let u3 = sr1 * wi;
+        let u4 = si1 * wr;
+        a0r[p1] = 0.0 + (u1 - u2);
+        a0i[p1] = 0.0 + (u3 + u4);
+        a1r[p1] = 0.0 + (u1 + u2);
+        a1i[p1] = 0.0 + (u4 - u3);
+
+        // Phase p2 completes after the second sample: extract and clear.
+        e0_out.push(a0r[p2] * a0r[p2] + a0i[p2] * a0i[p2]);
+        e1_out.push(a1r[p2] * a1r[p2] + a1i[p2] * a1i[p2]);
+        a0r[p2] = 0.0;
+        a0i[p2] = 0.0;
+        a1r[p2] = 0.0;
+        a1i[p2] = 0.0;
+        base = p2;
+    }
+    // Odd trailing sample: the plain one-sample walk.
+    for &s in pairs.remainder() {
+        let (sr, si) = (s.re, s.im);
+        let start = sps - 1 - base;
+        let wr = &wre[start..start + sps];
+        let wi = &wim[start..start + sps];
+        for p in 0..sps {
+            let t1 = sr * wr[p];
+            let t2 = si * wi[p];
+            let t3 = sr * wi[p];
+            let t4 = si * wr[p];
+            a0r[p] += t1 - t2;
+            a0i[p] += t3 + t4;
+            a1r[p] += t1 + t2;
+            a1i[p] += t4 - t3;
+        }
+        let p = if base + 1 == sps { 0 } else { base + 1 };
+        e0_out.push(a0r[p] * a0r[p] + a0i[p] * a0i[p]);
+        e1_out.push(a1r[p] * a1r[p] + a1i[p] * a1i[p]);
+        a0r[p] = 0.0;
+        a0i[p] = 0.0;
+        a1r[p] = 0.0;
+        a1i[p] = 0.0;
+        base = p;
+    }
+}
+
+/// The generic two-table MAC stage (templates with no conjugate
+/// relation). Same structure and `noalias` rationale as
+/// [`mac_block_fused`].
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn mac_block_generic(
+    samples: &[C64],
+    base0: usize,
+    tables: [&[f64]; 4],
+    a0r: &mut [f64],
+    a0i: &mut [f64],
+    a1r: &mut [f64],
+    a1i: &mut [f64],
+    e0_out: &mut Vec<f64>,
+    e1_out: &mut Vec<f64>,
+) {
+    let [w0re, w0im, w1re, w1im] = tables;
+    let sps = a0r.len();
+    let a0i = &mut a0i[..sps];
+    let a1r = &mut a1r[..sps];
+    let a1i = &mut a1i[..sps];
+    let mut base = base0;
+    for &s in samples {
+        let (sr, si) = (s.re, s.im);
+        let start = sps - 1 - base;
+        let w0r = &w0re[start..start + sps];
+        let w0i = &w0im[start..start + sps];
+        let w1r = &w1re[start..start + sps];
+        let w1i = &w1im[start..start + sps];
+        for p in 0..sps {
+            a0r[p] += sr * w0r[p] - si * w0i[p];
+            a0i[p] += sr * w0i[p] + si * w0r[p];
+            a1r[p] += sr * w1r[p] - si * w1i[p];
+            a1i[p] += sr * w1i[p] + si * w1r[p];
+        }
+        let p = if base + 1 == sps { 0 } else { base + 1 };
+        e0_out.push(a0r[p] * a0r[p] + a0i[p] * a0i[p]);
+        e1_out.push(a1r[p] * a1r[p] + a1i[p] * a1i[p]);
+        a0r[p] = 0.0;
+        a0i[p] = 0.0;
+        a1r[p] = 0.0;
+        a1i[p] = 0.0;
+        base = p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::f64::consts::PI;
+
+    /// The historical per-sample sweep (PR 1–4's `sweep_phases`): the
+    /// semantic and bit-exactness reference for the blocked kernel.
+    fn naive_sweep(
+        mf0: &[C64],
+        mf1: &[C64],
+        samples: &[C64],
+        base0: usize,
+        accum: &mut [(C64, C64)],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let sps = mf0.len();
+        let (mut e0s, mut e1s) = (Vec::new(), Vec::new());
+        let mut base = base0;
+        for &s in samples {
+            for (p, acc) in accum[..=base].iter_mut().enumerate() {
+                let pos = base - p;
+                acc.0 += s * mf0[pos];
+                acc.1 += s * mf1[pos];
+            }
+            for (off, acc) in accum[base + 1..].iter_mut().enumerate() {
+                let pos = sps - 1 - off;
+                acc.0 += s * mf0[pos];
+                acc.1 += s * mf1[pos];
+            }
+            let p = (base + 1) % sps;
+            e0s.push(accum[p].0.norm_sq());
+            e1s.push(accum[p].1.norm_sq());
+            accum[p] = (C64::ZERO, C64::ZERO);
+            base = p;
+        }
+        (e0s, e1s)
+    }
+
+    fn fsk_tables(sps: usize, dev_frac: f64) -> (Vec<C64>, Vec<C64>) {
+        let make = |f: f64| -> Vec<C64> {
+            (0..sps)
+                .map(|n| C64::cis(-2.0 * PI * f * n as f64 / sps as f64))
+                .collect()
+        };
+        (make(-dev_frac), make(dev_frac))
+    }
+
+    fn random_samples(rng: &mut StdRng, n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|_| C64::new(rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_sweep_bit_for_bit_fsk_tables() {
+        // Real FSK tables (conjugate tone pair -> fused fast path).
+        let mut rng = StdRng::seed_from_u64(21);
+        for sps in [1usize, 2, 3, 8, 24] {
+            let (mf0, mf1) = fsk_tables(sps, 4.0);
+            let samples = random_samples(&mut rng, 5 * sps + 3);
+            for base0 in [0, sps - 1, sps / 2] {
+                let mut corr = MultiPhaseCorrelator::new(&mf0, &mf1);
+                let (mut e0, mut e1) = (Vec::new(), Vec::new());
+                corr.process_block(&samples, base0, &mut e0, &mut e1);
+                let mut accum = vec![(C64::ZERO, C64::ZERO); sps];
+                let (r0, r1) = naive_sweep(&mf0, &mf1, &samples, base0, &mut accum);
+                for i in 0..samples.len() {
+                    assert_eq!(e0[i].to_bits(), r0[i].to_bits(), "sps {sps} e0[{i}]");
+                    assert_eq!(e1[i].to_bits(), r1[i].to_bits(), "sps {sps} e1[{i}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_sweep_bit_for_bit_arbitrary_tables() {
+        // Unrelated tables (no conjugate structure -> generic path).
+        let mut rng = StdRng::seed_from_u64(33);
+        let sps = 7;
+        let mf0: Vec<C64> = random_samples(&mut rng, sps);
+        let mf1: Vec<C64> = random_samples(&mut rng, sps);
+        let samples = random_samples(&mut rng, 100);
+        let mut corr = MultiPhaseCorrelator::new(&mf0, &mf1);
+        assert!(!corr.conj_pair, "random tables must take the generic path");
+        let (mut e0, mut e1) = (Vec::new(), Vec::new());
+        corr.process_block(&samples, 3, &mut e0, &mut e1);
+        let mut accum = vec![(C64::ZERO, C64::ZERO); sps];
+        let (r0, r1) = naive_sweep(&mf0, &mf1, &samples, 3, &mut accum);
+        for i in 0..samples.len() {
+            assert_eq!(e0[i].to_bits(), r0[i].to_bits(), "e0[{i}]");
+            assert_eq!(e1[i].to_bits(), r1[i].to_bits(), "e1[{i}]");
+        }
+    }
+
+    #[test]
+    fn fsk_tables_take_the_fused_path() {
+        // The ±deviation FSK tone tables are exact conjugates on this
+        // platform's libm, so the shared-product path must engage.
+        let (mf0, mf1) = fsk_tables(24, 4.0);
+        let corr = MultiPhaseCorrelator::new(&mf0, &mf1);
+        assert!(corr.conj_pair);
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_output() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let sps = 24;
+        let (mf0, mf1) = fsk_tables(sps, 4.0);
+        let samples = random_samples(&mut rng, 400);
+        let mut whole = MultiPhaseCorrelator::new(&mf0, &mf1);
+        let (mut e0w, mut e1w) = (Vec::new(), Vec::new());
+        whole.process_block(&samples, 0, &mut e0w, &mut e1w);
+        let mut chunked = MultiPhaseCorrelator::new(&mf0, &mf1);
+        let (mut e0c, mut e1c) = (Vec::new(), Vec::new());
+        let mut off = 0usize;
+        for n in [1usize, 7, 16, 23, 24, 25, 100, 400] {
+            let take = n.min(samples.len() - off);
+            chunked.process_block(&samples[off..off + take], off % sps, &mut e0c, &mut e1c);
+            off += take;
+            if off == samples.len() {
+                break;
+            }
+        }
+        assert_eq!(off, samples.len());
+        for i in 0..samples.len() {
+            assert_eq!(e0w[i].to_bits(), e0c[i].to_bits(), "e0[{i}]");
+            assert_eq!(e1w[i].to_bits(), e1c[i].to_bits(), "e1[{i}]");
+        }
+    }
+
+    #[test]
+    fn reset_clears_partial_symbols() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let sps = 6;
+        let (mf0, mf1) = fsk_tables(sps, 2.0);
+        let samples = random_samples(&mut rng, 50);
+        let mut a = MultiPhaseCorrelator::new(&mf0, &mf1);
+        let (mut e0, mut e1) = (Vec::new(), Vec::new());
+        // Pollute with a partial block, then reset.
+        a.process_block(&samples[..4], 0, &mut e0, &mut e1);
+        a.reset();
+        e0.clear();
+        e1.clear();
+        a.process_block(&samples, 0, &mut e0, &mut e1);
+        let mut fresh = MultiPhaseCorrelator::new(&mf0, &mf1);
+        let (mut f0, mut f1) = (Vec::new(), Vec::new());
+        fresh.process_block(&samples, 0, &mut f0, &mut f1);
+        for i in 0..samples.len() {
+            assert_eq!(e0[i].to_bits(), f0[i].to_bits(), "e0[{i}]");
+            assert_eq!(e1[i].to_bits(), f1[i].to_bits(), "e1[{i}]");
+        }
+    }
+
+    #[test]
+    fn output_is_appended_not_overwritten() {
+        let (mf0, mf1) = fsk_tables(4, 1.0);
+        let mut corr = MultiPhaseCorrelator::new(&mf0, &mf1);
+        let (mut e0, mut e1) = (vec![-1.0], vec![-2.0]);
+        corr.process_block(&[C64::ONE; 3], 0, &mut e0, &mut e1);
+        assert_eq!(e0.len(), 4);
+        assert_eq!(e0[0], -1.0);
+        assert_eq!(e1[0], -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_base() {
+        let (mf0, mf1) = fsk_tables(4, 1.0);
+        let mut corr = MultiPhaseCorrelator::new(&mf0, &mf1);
+        corr.process_block(&[C64::ONE], 4, &mut Vec::new(), &mut Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn rejects_empty_tables() {
+        let _ = MultiPhaseCorrelator::new(&[], &[]);
+    }
+}

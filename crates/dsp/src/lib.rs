@@ -10,6 +10,9 @@
 //! * [`fir`] — windowed-sinc filter design and streaming filters (the
 //!   shield's channelizer and the eavesdropper's band-pass attack).
 //! * [`goertzel`] — single-bin DFT (the FSK tone matched filter).
+//! * [`correlator`] — the blocked multi-phase matched-filter correlator
+//!   behind `hb_phy`'s streaming detector and Sid monitor (dense,
+//!   autovectorizable per-phase tone accumulation).
 //! * [`kernels`] — batched, branch-free `ln`/`sincos` kernels for the hot
 //!   noise and oscillator paths (autovectorizable).
 //! * [`noise`] — white and **PSD-shaped** Gaussian noise (the jamming
@@ -28,6 +31,7 @@
 
 pub mod cfo;
 pub mod complex;
+pub mod correlator;
 pub mod fft;
 pub mod fir;
 pub mod goertzel;

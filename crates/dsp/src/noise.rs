@@ -65,6 +65,22 @@ pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, variance: f64) -> C64 {
 /// probability 2⁻⁵³) — and the sample values do not depend on how a fill
 /// is split across calls: filling 64k samples in one call or in many
 /// arbitrary-sized calls from the same RNG produces identical bits.
+///
+/// # Example
+///
+/// ```
+/// use hb_dsp::complex::{mean_power, C64};
+/// use hb_dsp::noise::NoiseSource;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let src = NoiseSource::new(2.0); // average sample power 2.0 (linear)
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut buf = vec![C64::ZERO; 4096];
+/// src.fill(&mut rng, &mut buf);
+/// let p = mean_power(&buf);
+/// assert!((p - 2.0).abs() < 0.2, "measured power {p}");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseSource {
     /// Average sample power (linear).

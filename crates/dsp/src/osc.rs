@@ -25,6 +25,24 @@ use crate::complex::C64;
 pub const RENORM_INTERVAL: u32 = 64;
 
 /// A complex rotator: generates `e^{j(φ₀ + nΔφ)}` by recurrence.
+///
+/// # Example
+///
+/// ```
+/// use hb_dsp::complex::C64;
+/// use hb_dsp::osc::Rotator;
+/// use std::f64::consts::PI;
+///
+/// // A 50 kHz tone at a 300 kHz sample rate — six samples per cycle.
+/// let dphi = 2.0 * PI * 50e3 / 300e3;
+/// let mut osc = Rotator::new(0.0, dphi);
+/// let mut tone = vec![C64::ZERO; 6];
+/// osc.fill(&mut tone);
+/// // Each sample tracks the exact cis() evaluation to ~1e-12…
+/// assert!((tone[3] - C64::cis(3.0 * dphi)).abs() < 1e-12);
+/// // …and after one full cycle the phasor is back at 1 + 0j.
+/// assert!((osc.phasor() - C64::ONE).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Rotator {
     cur: C64,

@@ -78,7 +78,7 @@ pub fn sinc(x: f64) -> f64 {
 /// `Pb = 0.5 * exp(-Eb/N0 / 2)`.
 ///
 /// `snr_linear` is Eb/N0 as a linear power ratio. This is the decoder the
-/// paper's eavesdropper uses ("optimal FSK decoder" [38]); we validate our
+/// paper's eavesdropper uses ("optimal FSK decoder" \[38\]); we validate our
 /// demodulator against this curve.
 pub fn fsk_noncoherent_ber(snr_linear: f64) -> f64 {
     0.5 * (-snr_linear / 2.0).exp()

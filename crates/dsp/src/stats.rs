@@ -107,7 +107,7 @@ impl Cdf {
         idx as f64 / self.sorted.len() as f64
     }
 
-    /// The `q`-quantile for `q` in [0,1] (nearest-rank).
+    /// The `q`-quantile for `q` in \[0,1\] (nearest-rank).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "quantile of empty CDF");
         let q = q.clamp(0.0, 1.0);

@@ -9,7 +9,7 @@
 //!
 //! Demodulation is **noncoherent matched filtering**: per symbol, correlate
 //! against both tones and pick the larger magnitude. This is the "optimal
-//! FSK decoder [38]" the paper equips the eavesdropper with; we verify the
+//! FSK decoder \[38\]" the paper equips the eavesdropper with; we verify the
 //! implementation against the textbook BER curve `0.5·exp(−SNR/2)` in the
 //! tests.
 

@@ -12,6 +12,9 @@
 //!   CRC-16 (the checksum whose failure makes jammed commands harmless).
 //! * [`matcher`] — the sliding `Sid` identifying-sequence matcher with
 //!   `bthresh` tolerance (§7's active-protection trigger).
+//! * [`stream`] — continuous block-at-a-time detection: the streaming
+//!   frame detector and Sid monitor, both riding the blocked multi-phase
+//!   correlator in `hb_dsp::correlator`.
 //! * [`rssi`] — RSSI estimation and energy-based carrier sensing
 //!   (listen-before-talk, Pthresh alarm measurements).
 //! * [`bits`], [`crc`] — bit manipulation and checksums.

@@ -11,11 +11,50 @@
 //! field to know when to stop), and emits the parse result — including CRC
 //! failures, which is exactly what an IMD sees when the shield jams a
 //! command addressed to it.
+//!
+//! # The two-stage blocked pipeline
+//!
+//! Both [`StreamingDetector`] and [`SidMonitor`] split each `push_block`
+//! call into two stages around the shared
+//! [`hb_dsp::correlator::MultiPhaseCorrelator`] kernel:
+//!
+//! * **Stage (a), hot** — the whole input block flows through the dense
+//!   multi-phase MAC sweep. With `sps` samples per symbol, every sample
+//!   updates all `sps` per-phase `(c0, c1)` tone accumulators (contiguous
+//!   structure-of-arrays layout, branch-free forward loops over reversed
+//!   cis tables — see the correlator's module docs), and exactly one
+//!   phase completes a symbol per sample. The completed energies
+//!   `(e0, e1) = (|c0|², |c1|²)` land in per-block scratch buffers.
+//! * **Stage (b), cold** — a per-symbol walk over the scratch runs
+//!   everything with state-machine branches: bit decisions, margin
+//!   tracking, sync matching, phase arbitration, lock/frame collection.
+//!
+//! **The blocked-correlator invariant:** stage (a) is a pure function of
+//! the sample stream — no detector state (lock, candidates, matchers)
+//! feeds back into the accumulators, and the accumulators' contributions
+//! arrive in exactly the per-sample order the historical sweep used.
+//! Every demodulated bit stream, event, tick and power value is therefore
+//! **bit-for-bit identical** to the pre-blocked implementation (kept
+//! under `#[cfg(test)]` as `reference` and pinned by equivalence property
+//! tests), and independent of how the stream is chunked into blocks.
+//!
+//! # Phase-arbitration rules
+//!
+//! Several adjacent phases can match the sync pattern within tolerance.
+//! When the first one fires, a one-symbol **arbitration window** opens;
+//! phases firing inside it become candidates (each remembering the bits
+//! it demodulated after its own match). When the window closes, the
+//! winner is chosen by (1) lowest sync Hamming distance, then (2) highest
+//! summed tone-energy separation `Σ|e1−e0|` over the sync window, then
+//! (3) earliest fire (the sort is stable, so ties keep registration
+//! order). Only then does the detector lock and report
+//! [`DetectorEvent::SyncFound`].
 
 use crate::fsk::{FskModem, FskParams};
 use crate::matcher::SidMatcher;
 use crate::packet::{Frame, FrameError, MAX_PAYLOAD, OVERHEAD, PREAMBLE, SYNC_WORD};
 use hb_dsp::complex::C64;
+use hb_dsp::correlator::MultiPhaseCorrelator;
 use std::f64::consts::PI;
 
 /// Bits in the preamble + sync prefix.
@@ -23,35 +62,22 @@ const SYNC_BITS: usize = (PREAMBLE.len() + SYNC_WORD.len()) * 8;
 /// Bit offset of the length field within the frame.
 const LEN_FIELD_BIT: usize = (PREAMBLE.len() + SYNC_WORD.len() + 10 + 1 + 1) * 8;
 
-/// One sample of the dense matched-filter phase sweep shared by
-/// [`StreamingDetector`] and [`SidMonitor`].
-///
-/// Phase `p` reads matched-filter position `(tick - p) mod sps`; with
-/// `base = tick mod sps` that splits into two contiguous runs, so the hot
-/// loop is dense MACs with no modulo. Accumulates `s` into every phase's
-/// `(c0, c1)` and returns the one phase `p* = (base + 1) mod sps` that
-/// completes a symbol on this sample (its symbol spans
-/// `[tick - sps + 1, tick]`).
-#[inline]
-fn sweep_phases(
-    accum: &mut [(C64, C64)],
-    mf_zero: &[C64],
-    mf_one: &[C64],
-    s: C64,
-    base: usize,
-) -> usize {
-    let sps = accum.len();
-    for (p, acc) in accum[..=base].iter_mut().enumerate() {
-        let pos = base - p;
-        acc.0 += s * mf_zero[pos];
-        acc.1 += s * mf_one[pos];
-    }
-    for (off, acc) in accum[base + 1..].iter_mut().enumerate() {
-        let pos = sps - 1 - off;
-        acc.0 += s * mf_zero[pos];
-        acc.1 += s * mf_one[pos];
-    }
-    (base + 1) % sps
+/// One-symbol tone template `cis(-2π f n / fs)` for `bit`'s tone — the
+/// matched filter both streaming front ends correlate against.
+fn tone_template(params: FskParams, bit: u8) -> Vec<C64> {
+    let sps = params.samples_per_symbol();
+    (0..sps)
+        .map(|n| C64::cis(-2.0 * PI * params.tone_hz(bit) * n as f64 / params.fs_hz))
+        .collect()
+}
+
+/// The blocked sweep kernel over `params`' two tone templates — exactly
+/// the correlator [`StreamingDetector`] and [`SidMonitor`] run as their
+/// hot stage. Public so benchmarks (`perf_report`'s `detector_sweep_24k`)
+/// time the same filter the production detectors use rather than
+/// rebuilding the template convention by hand.
+pub fn detection_correlator(params: FskParams) -> MultiPhaseCorrelator {
+    MultiPhaseCorrelator::new(&tone_template(params, 0), &tone_template(params, 1))
 }
 
 /// An event from the streaming detector.
@@ -76,26 +102,58 @@ pub enum DetectorEvent {
 }
 
 /// Per-alignment demodulation state (cold path: touched once per completed
-/// symbol; the per-sample tone accumulators live in a dense array on the
-/// detector itself for cache locality).
+/// symbol; the per-sample tone accumulators live in the shared
+/// [`MultiPhaseCorrelator`] for cache locality).
 #[derive(Debug, Clone)]
 struct PhaseState {
     /// Sync matcher over this phase's bit stream.
     matcher: SidMatcher,
-    /// Tone-energy separation |e1−e0| of the last `SYNC_BITS` symbols: a
-    /// correctly aligned phase maximizes this, so it arbitrates ties
-    /// between equal-distance sync candidates.
-    margins: std::collections::VecDeque<f64>,
+    /// Tone-energy separation |e1−e0| of the last `SYNC_BITS` symbols
+    /// (fixed ring buffer): a correctly aligned phase maximizes this, so
+    /// it arbitrates ties between equal-distance sync candidates.
+    margins: Vec<f64>,
+    /// Ring head — index of the oldest margin once the ring is full.
+    head: usize,
+    /// Entries filled so far (saturates at `SYNC_BITS`).
+    filled: usize,
     margin_sum: f64,
 }
 
 impl PhaseState {
-    fn push_margin(&mut self, m: f64) {
-        self.margins.push_back(m);
-        self.margin_sum += m;
-        if self.margins.len() > SYNC_BITS {
-            self.margin_sum -= self.margins.pop_front().unwrap();
+    fn new(matcher: SidMatcher) -> Self {
+        PhaseState {
+            matcher,
+            margins: vec![0.0; SYNC_BITS],
+            head: 0,
+            filled: 0,
+            margin_sum: 0.0,
         }
+    }
+
+    /// Adds `m` to the rolling window: the sum gains `m` first, then loses
+    /// the evicted oldest entry — the same floating-point order the
+    /// historical `VecDeque` implementation used, so the sum stays
+    /// bit-identical.
+    fn push_margin(&mut self, m: f64) {
+        self.margin_sum += m;
+        if self.filled < SYNC_BITS {
+            self.margins[self.filled] = m;
+            self.filled += 1;
+        } else {
+            self.margin_sum -= self.margins[self.head];
+            self.margins[self.head] = m;
+            self.head = if self.head + 1 == SYNC_BITS {
+                0
+            } else {
+                self.head + 1
+            };
+        }
+    }
+
+    fn clear_margins(&mut self) {
+        self.head = 0;
+        self.filled = 0;
+        self.margin_sum = 0.0;
     }
 }
 
@@ -119,7 +177,8 @@ struct LockState {
 /// locking onto the first one risks a half-symbol misalignment that
 /// corrupts the whole frame. Candidates are therefore collected for one
 /// symbol period and the **lowest-distance** phase wins — the streaming
-/// equivalent of the offline decoder's search over all alignments.
+/// equivalent of the offline decoder's search over all alignments. (The
+/// full tie-break order is in the module docs.)
 #[derive(Debug, Clone)]
 struct Candidate {
     phase: usize,
@@ -133,19 +192,53 @@ struct Candidate {
 }
 
 /// Streaming FSK frame detector. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use hb_dsp::complex::C64;
+/// use hb_phy::fsk::{FskModem, FskParams};
+/// use hb_phy::packet::{Frame, FrameType, Serial};
+/// use hb_phy::stream::{DetectorEvent, StreamingDetector};
+///
+/// let params = FskParams::mics_default();
+/// let frame = Frame::new(
+///     Serial::from_str_padded("VIRTUOSO01"),
+///     FrameType::Command,
+///     1,
+///     vec![1, 2],
+/// );
+/// let mut sig = vec![C64::ZERO; 100]; // leading silence
+/// sig.extend(FskModem::new(params).modulate(&frame.to_bits()));
+/// sig.extend(vec![C64::ZERO; 200]);
+///
+/// let mut det = StreamingDetector::new(params, 4);
+/// let mut decoded = None;
+/// // Blocks arrive one at a time, exactly as the medium produces them.
+/// for block in sig.chunks(16) {
+///     for event in det.push_block(block) {
+///         if let DetectorEvent::FrameDone { result, .. } = event {
+///             decoded = Some(result.expect("clean channel"));
+///         }
+///     }
+/// }
+/// assert_eq!(decoded.unwrap(), frame);
+/// ```
 #[derive(Debug, Clone)]
 pub struct StreamingDetector {
     modem: FskModem,
-    mf_zero: Vec<C64>,
-    mf_one: Vec<C64>,
-    /// Hot per-phase tone accumulators `(c0, c1)`, dense for locality.
-    accum: Vec<(C64, C64)>,
+    /// Stage (a): the shared blocked multi-phase sweep kernel.
+    corr: MultiPhaseCorrelator,
     phases: Vec<PhaseState>,
     lock: Option<LockState>,
     /// Pending candidate window: (deadline tick, candidates).
     pending: Option<(u64, Vec<Candidate>)>,
     sync_errors_allowed: usize,
     next_tick: u64,
+    /// Per-block scratch: completed-symbol tone energies from stage (a),
+    /// one `(e0, e1)` pair per consumed sample.
+    e0: Vec<f64>,
+    e1: Vec<f64>,
 }
 
 impl StreamingDetector {
@@ -154,31 +247,22 @@ impl StreamingDetector {
     pub fn new(params: FskParams, sync_errors_allowed: usize) -> Self {
         let modem = FskModem::new(params);
         let sps = params.samples_per_symbol();
-        let make = |f: f64| -> Vec<C64> {
-            (0..sps)
-                .map(|n| C64::cis(-2.0 * PI * f * n as f64 / params.fs_hz))
-                .collect()
-        };
         let mut pattern = Vec::with_capacity(SYNC_BITS);
         pattern.extend_from_slice(&crate::bits::bytes_to_bits(&PREAMBLE));
         pattern.extend_from_slice(&crate::bits::bytes_to_bits(&SYNC_WORD));
         let phases = (0..sps)
-            .map(|_| PhaseState {
-                matcher: SidMatcher::new(pattern.clone(), sync_errors_allowed),
-                margins: std::collections::VecDeque::with_capacity(SYNC_BITS + 1),
-                margin_sum: 0.0,
-            })
+            .map(|_| PhaseState::new(SidMatcher::new(pattern.clone(), sync_errors_allowed)))
             .collect();
         StreamingDetector {
-            mf_zero: make(params.tone_hz(0)),
-            mf_one: make(params.tone_hz(1)),
+            corr: detection_correlator(params),
             modem,
-            accum: vec![(C64::ZERO, C64::ZERO); sps],
             phases,
             lock: None,
             pending: None,
             sync_errors_allowed,
             next_tick: 0,
+            e0: Vec::new(),
+            e1: Vec::new(),
         }
     }
 
@@ -196,13 +280,10 @@ impl StreamingDetector {
     pub fn reset(&mut self) {
         self.lock = None;
         self.pending = None;
-        for a in self.accum.iter_mut() {
-            *a = (C64::ZERO, C64::ZERO);
-        }
+        self.corr.reset();
         for p in self.phases.iter_mut() {
             p.matcher.reset();
-            p.margins.clear();
-            p.margin_sum = 0.0;
+            p.clear_margins();
         }
     }
 
@@ -211,7 +292,22 @@ impl StreamingDetector {
     pub fn push_block(&mut self, samples: &[C64]) -> Vec<DetectorEvent> {
         let sps = self.modem.params().samples_per_symbol();
         let mut events = Vec::new();
-        for &s in samples {
+
+        // Stage (a) — hot: the dense multi-phase MAC sweep over the whole
+        // block, emitting one completed (e0, e1) pair per sample.
+        self.e0.clear();
+        self.e1.clear();
+        let base0 = (self.next_tick % sps as u64) as usize;
+        self.corr
+            .process_block(samples, base0, &mut self.e0, &mut self.e1);
+
+        // Stage (b) — cold: per completed symbol, in tick order. The
+        // scratch buffers move out of `self` for the walk so the zip
+        // borrows cleanly (and elides every bounds check).
+        let e0s = std::mem::take(&mut self.e0);
+        let e1s = std::mem::take(&mut self.e1);
+        let mut p = base0;
+        for ((&s, &e0), &e1) in samples.iter().zip(e0s.iter()).zip(e1s.iter()) {
             let tick = self.next_tick;
             self.next_tick += 1;
 
@@ -221,96 +317,90 @@ impl StreamingDetector {
             }
 
             let mut frame_completed = false;
-            let base = (tick % sps as u64) as usize;
+            // The phase whose symbol completed on this sample.
+            p = if p + 1 == sps { 0 } else { p + 1 };
             {
-                let p = sweep_phases(&mut self.accum, &self.mf_zero, &self.mf_one, s, base);
                 let st = &mut self.phases[p];
-                let acc = &mut self.accum[p];
-                {
-                    let e0 = acc.0.norm_sq();
-                    let e1 = acc.1.norm_sq();
-                    let bit = u8::from(e1 > e0);
-                    st.push_margin((e1 - e0).abs());
-                    *acc = (C64::ZERO, C64::ZERO);
+                let bit = u8::from(e1 > e0);
+                st.push_margin((e1 - e0).abs());
 
-                    match self.lock.as_mut() {
-                        Some(lock) if lock.phase == p => {
-                            lock.bits.push(bit);
-                            // Read the length field as soon as available.
-                            if lock.total_bits.is_none() && lock.bits.len() >= LEN_FIELD_BIT + 16 {
-                                let mut len = 0usize;
-                                for i in 0..16 {
-                                    len = (len << 1) | lock.bits[LEN_FIELD_BIT + i] as usize;
-                                }
-                                if len > MAX_PAYLOAD {
-                                    // Garbled length: cap at the maximum
-                                    // frame so the attempt terminates; the
-                                    // CRC will reject it.
-                                    len = MAX_PAYLOAD;
-                                }
-                                lock.total_bits = Some((OVERHEAD + len) * 8);
+                match self.lock.as_mut() {
+                    Some(lock) if lock.phase == p => {
+                        lock.bits.push(bit);
+                        // Read the length field as soon as available.
+                        if lock.total_bits.is_none() && lock.bits.len() >= LEN_FIELD_BIT + 16 {
+                            let mut len = 0usize;
+                            for i in 0..16 {
+                                len = (len << 1) | lock.bits[LEN_FIELD_BIT + i] as usize;
                             }
-                            if let Some(total) = lock.total_bits {
-                                if lock.bits.len() >= total {
-                                    let lock = self.lock.take().unwrap();
-                                    let result = Frame::from_bits(&lock.bits);
-                                    events.push(DetectorEvent::FrameDone {
-                                        result,
-                                        start_tick: lock.start_tick,
-                                        end_tick: tick + 1,
-                                        mean_power: if lock.power_samples > 0 {
-                                            lock.power_sum / lock.power_samples as f64
-                                        } else {
-                                            0.0
-                                        },
-                                    });
-                                    // One frame at a time: restart the scan
-                                    // (matchers reset after this sample's
-                                    // phase sweep completes).
-                                    frame_completed = true;
-                                }
+                            if len > MAX_PAYLOAD {
+                                // Garbled length: cap at the maximum
+                                // frame so the attempt terminates; the
+                                // CRC will reject it.
+                                len = MAX_PAYLOAD;
+                            }
+                            lock.total_bits = Some((OVERHEAD + len) * 8);
+                        }
+                        if let Some(total) = lock.total_bits {
+                            if lock.bits.len() >= total {
+                                let lock = self.lock.take().unwrap();
+                                let result = Frame::from_bits(&lock.bits);
+                                events.push(DetectorEvent::FrameDone {
+                                    result,
+                                    start_tick: lock.start_tick,
+                                    end_tick: tick + 1,
+                                    mean_power: if lock.power_samples > 0 {
+                                        lock.power_sum / lock.power_samples as f64
+                                    } else {
+                                        0.0
+                                    },
+                                });
+                                // One frame at a time: restart the scan
+                                // (matchers reset after this sample's
+                                // phase sweep completes).
+                                frame_completed = true;
                             }
                         }
-                        Some(_) => {
-                            // Another phase holds the lock; stay quiet.
-                        }
-                        None => {
-                            let fired = st.matcher.push(bit);
-                            match self.pending.as_mut() {
-                                Some((_, candidates)) => {
-                                    // Feed bits to existing candidates on
-                                    // this phase; register a new candidate
-                                    // if this phase just fired.
-                                    for c in candidates.iter_mut() {
-                                        if c.phase == p && c.fire_tick < tick {
-                                            c.bits_since.push(bit);
-                                        }
+                    }
+                    Some(_) => {
+                        // Another phase holds the lock; stay quiet.
+                    }
+                    None => {
+                        let fired = st.matcher.push(bit);
+                        match self.pending.as_mut() {
+                            Some((_, candidates)) => {
+                                // Feed bits to existing candidates on
+                                // this phase; register a new candidate
+                                // if this phase just fired.
+                                for c in candidates.iter_mut() {
+                                    if c.phase == p && c.fire_tick < tick {
+                                        c.bits_since.push(bit);
                                     }
-                                    if fired && !candidates.iter().any(|c| c.phase == p) {
-                                        candidates.push(Candidate {
+                                }
+                                if fired && !candidates.iter().any(|c| c.phase == p) {
+                                    candidates.push(Candidate {
+                                        phase: p,
+                                        distance: st.matcher.current_distance(),
+                                        quality: st.margin_sum,
+                                        fire_tick: tick,
+                                        bits_since: Vec::new(),
+                                    });
+                                }
+                            }
+                            None => {
+                                if fired {
+                                    // Open a one-symbol arbitration
+                                    // window for competing phases.
+                                    self.pending = Some((
+                                        tick + sps as u64,
+                                        vec![Candidate {
                                             phase: p,
                                             distance: st.matcher.current_distance(),
                                             quality: st.margin_sum,
                                             fire_tick: tick,
                                             bits_since: Vec::new(),
-                                        });
-                                    }
-                                }
-                                None => {
-                                    if fired {
-                                        // Open a one-symbol arbitration
-                                        // window for competing phases.
-                                        self.pending = Some((
-                                            tick + sps as u64,
-                                            vec![Candidate {
-                                                phase: p,
-                                                distance: st.matcher.current_distance(),
-                                                quality: st.margin_sum,
-                                                fire_tick: tick,
-                                                bits_since: Vec::new(),
-                                            }],
-                                        ));
-                                    }
+                                        }],
+                                    ));
                                 }
                             }
                         }
@@ -354,6 +444,8 @@ impl StreamingDetector {
                 }
             }
         }
+        self.e0 = e0s;
+        self.e1 = e1s;
         events
     }
 
@@ -387,12 +479,16 @@ pub struct SidDetection {
 /// last `m` bits match `Sid` within `bthresh` errors, reporting the RSSI
 /// over the matched window (the quantity compared against `Pthresh` for
 /// the high-power alarm).
+///
+/// The sweep itself is the same blocked
+/// [`MultiPhaseCorrelator`] stage the detector
+/// uses (see the module docs for the two-stage pipeline); only the cold
+/// stage differs — a rolling RSSI window and one [`SidMatcher`] per phase
+/// instead of frame assembly.
 #[derive(Debug, Clone)]
 pub struct SidMonitor {
-    mf_zero: Vec<C64>,
-    mf_one: Vec<C64>,
-    /// (c0, c1) accumulators per phase.
-    accum: Vec<(C64, C64)>,
+    /// Stage (a): the shared blocked multi-phase sweep kernel.
+    corr: MultiPhaseCorrelator,
     matchers: Vec<SidMatcher>,
     /// Rolling power window covering one Sid length of samples.
     power_window: Vec<f64>,
@@ -407,6 +503,9 @@ pub struct SidMonitor {
     /// their freshly-reset state, so repeated [`SidMonitor::advance_silent`]
     /// calls can skip the O(window) reset work.
     in_reset_state: bool,
+    /// Per-block scratch: completed-symbol tone energies from stage (a).
+    e0: Vec<f64>,
+    e1: Vec<f64>,
 }
 
 impl SidMonitor {
@@ -414,16 +513,9 @@ impl SidMonitor {
     /// errors.
     pub fn new(params: FskParams, sid: Vec<u8>, bthresh: usize) -> Self {
         let sps = params.samples_per_symbol();
-        let make = |f: f64| -> Vec<C64> {
-            (0..sps)
-                .map(|n| C64::cis(-2.0 * PI * f * n as f64 / params.fs_hz))
-                .collect()
-        };
         let window_len = sid.len() * sps;
         SidMonitor {
-            mf_zero: make(params.tone_hz(0)),
-            mf_one: make(params.tone_hz(1)),
-            accum: vec![(C64::ZERO, C64::ZERO); sps],
+            corr: detection_correlator(params),
             matchers: (0..sps)
                 .map(|_| SidMatcher::new(sid.clone(), bthresh))
                 .collect(),
@@ -434,6 +526,8 @@ impl SidMonitor {
             next_tick: 0,
             holdoff_until: 0,
             in_reset_state: true,
+            e0: Vec::new(),
+            e1: Vec::new(),
         }
     }
 
@@ -443,7 +537,19 @@ impl SidMonitor {
             self.in_reset_state = false;
         }
         let mut detection = None;
-        for &s in samples {
+
+        // Stage (a) — hot: the shared blocked sweep.
+        self.e0.clear();
+        self.e1.clear();
+        let base0 = (self.next_tick % self.sps as u64) as usize;
+        self.corr
+            .process_block(samples, base0, &mut self.e0, &mut self.e1);
+
+        // Stage (b) — cold: rolling RSSI + per-phase Sid matching.
+        let e0s = std::mem::take(&mut self.e0);
+        let e1s = std::mem::take(&mut self.e1);
+        let mut phase = base0;
+        for ((&s, &e0), &e1) in samples.iter().zip(e0s.iter()).zip(e1s.iter()) {
             let tick = self.next_tick;
             self.next_tick += 1;
 
@@ -453,27 +559,21 @@ impl SidMonitor {
             self.power_window[self.power_head] = p;
             self.power_head = (self.power_head + 1) % self.power_window.len();
 
-            let base = (tick % self.sps as u64) as usize;
-            {
-                let phase = sweep_phases(&mut self.accum, &self.mf_zero, &self.mf_one, s, base);
-                let (c0, c1) = self.accum[phase];
-                let bit = u8::from(c1.norm_sq() > c0.norm_sq());
-                self.accum[phase] = (C64::ZERO, C64::ZERO);
-                if self.matchers[phase].push(bit)
-                    && detection.is_none()
-                    && tick >= self.holdoff_until
-                {
-                    detection = Some(SidDetection {
-                        tick,
-                        distance: self.matchers[phase].current_distance(),
-                        mean_power: self.power_sum / self.power_window.len() as f64,
-                    });
-                    // Hold off for half a Sid so sibling phases don't
-                    // re-report the same transmission.
-                    self.holdoff_until = tick + (self.power_window.len() / 2) as u64;
-                }
+            phase = if phase + 1 == self.sps { 0 } else { phase + 1 };
+            let bit = u8::from(e1 > e0);
+            if self.matchers[phase].push(bit) && detection.is_none() && tick >= self.holdoff_until {
+                detection = Some(SidDetection {
+                    tick,
+                    distance: self.matchers[phase].current_distance(),
+                    mean_power: self.power_sum / self.power_window.len() as f64,
+                });
+                // Hold off for half a Sid so sibling phases don't
+                // re-report the same transmission.
+                self.holdoff_until = tick + (self.power_window.len() / 2) as u64;
             }
         }
+        self.e0 = e0s;
+        self.e1 = e1s;
         detection
     }
 
@@ -482,9 +582,7 @@ impl SidMonitor {
         for m in self.matchers.iter_mut() {
             m.reset();
         }
-        for a in self.accum.iter_mut() {
-            *a = (C64::ZERO, C64::ZERO);
-        }
+        self.corr.reset();
         // The power window is *not* cleared here, so the next silent
         // advance still has zeroing to do.
         self.in_reset_state = false;
@@ -520,6 +618,331 @@ impl SidMonitor {
     /// Current absolute sample tick.
     pub fn tick(&self) -> u64 {
         self.next_tick
+    }
+}
+
+/// The pre-blocked (PR 1–4) streaming front ends, kept verbatim as the
+/// bit-exactness reference for the blocked-correlator rewrite: the
+/// equivalence property tests drive these and the production types on
+/// identical streams and require identical output, bit for bit.
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    /// The historical per-sample dense phase sweep.
+    ///
+    /// Phase `p` reads matched-filter position `(tick - p) mod sps`; with
+    /// `base = tick mod sps` that splits into two contiguous runs, so the
+    /// loop is dense MACs with no modulo. Accumulates `s` into every
+    /// phase's `(c0, c1)` and returns the one phase `p* = (base + 1) mod
+    /// sps` that completes a symbol on this sample.
+    fn sweep_phases(
+        accum: &mut [(C64, C64)],
+        mf_zero: &[C64],
+        mf_one: &[C64],
+        s: C64,
+        base: usize,
+    ) -> usize {
+        let sps = accum.len();
+        for (p, acc) in accum[..=base].iter_mut().enumerate() {
+            let pos = base - p;
+            acc.0 += s * mf_zero[pos];
+            acc.1 += s * mf_one[pos];
+        }
+        for (off, acc) in accum[base + 1..].iter_mut().enumerate() {
+            let pos = sps - 1 - off;
+            acc.0 += s * mf_zero[pos];
+            acc.1 += s * mf_one[pos];
+        }
+        (base + 1) % sps
+    }
+
+    /// The pre-blocked [`StreamingDetector`]: identical state machine,
+    /// per-sample sweep.
+    #[derive(Debug, Clone)]
+    pub struct RefDetector {
+        modem: FskModem,
+        mf_zero: Vec<C64>,
+        mf_one: Vec<C64>,
+        accum: Vec<(C64, C64)>,
+        phases: Vec<PhaseState>,
+        lock: Option<LockState>,
+        pending: Option<(u64, Vec<Candidate>)>,
+        next_tick: u64,
+    }
+
+    impl RefDetector {
+        pub fn new(params: FskParams, sync_errors_allowed: usize) -> Self {
+            let modem = FskModem::new(params);
+            let sps = params.samples_per_symbol();
+            let mut pattern = Vec::with_capacity(SYNC_BITS);
+            pattern.extend_from_slice(&crate::bits::bytes_to_bits(&PREAMBLE));
+            pattern.extend_from_slice(&crate::bits::bytes_to_bits(&SYNC_WORD));
+            let phases = (0..sps)
+                .map(|_| PhaseState::new(SidMatcher::new(pattern.clone(), sync_errors_allowed)))
+                .collect();
+            RefDetector {
+                mf_zero: tone_template(params, 0),
+                mf_one: tone_template(params, 1),
+                modem,
+                accum: vec![(C64::ZERO, C64::ZERO); sps],
+                phases,
+                lock: None,
+                pending: None,
+                next_tick: 0,
+            }
+        }
+
+        pub fn reset(&mut self) {
+            self.lock = None;
+            self.pending = None;
+            for a in self.accum.iter_mut() {
+                *a = (C64::ZERO, C64::ZERO);
+            }
+            for p in self.phases.iter_mut() {
+                p.matcher.reset();
+                p.clear_margins();
+            }
+        }
+
+        pub fn push_block(&mut self, samples: &[C64]) -> Vec<DetectorEvent> {
+            let sps = self.modem.params().samples_per_symbol();
+            let mut events = Vec::new();
+            for &s in samples {
+                let tick = self.next_tick;
+                self.next_tick += 1;
+
+                if let Some(lock) = self.lock.as_mut() {
+                    lock.power_sum += s.norm_sq();
+                    lock.power_samples += 1;
+                }
+
+                let mut frame_completed = false;
+                let base = (tick % sps as u64) as usize;
+                {
+                    let p = sweep_phases(&mut self.accum, &self.mf_zero, &self.mf_one, s, base);
+                    let st = &mut self.phases[p];
+                    let acc = &mut self.accum[p];
+                    {
+                        let e0 = acc.0.norm_sq();
+                        let e1 = acc.1.norm_sq();
+                        let bit = u8::from(e1 > e0);
+                        st.push_margin((e1 - e0).abs());
+                        *acc = (C64::ZERO, C64::ZERO);
+
+                        match self.lock.as_mut() {
+                            Some(lock) if lock.phase == p => {
+                                lock.bits.push(bit);
+                                if lock.total_bits.is_none()
+                                    && lock.bits.len() >= LEN_FIELD_BIT + 16
+                                {
+                                    let mut len = 0usize;
+                                    for i in 0..16 {
+                                        len = (len << 1) | lock.bits[LEN_FIELD_BIT + i] as usize;
+                                    }
+                                    if len > MAX_PAYLOAD {
+                                        len = MAX_PAYLOAD;
+                                    }
+                                    lock.total_bits = Some((OVERHEAD + len) * 8);
+                                }
+                                if let Some(total) = lock.total_bits {
+                                    if lock.bits.len() >= total {
+                                        let lock = self.lock.take().unwrap();
+                                        let result = Frame::from_bits(&lock.bits);
+                                        events.push(DetectorEvent::FrameDone {
+                                            result,
+                                            start_tick: lock.start_tick,
+                                            end_tick: tick + 1,
+                                            mean_power: if lock.power_samples > 0 {
+                                                lock.power_sum / lock.power_samples as f64
+                                            } else {
+                                                0.0
+                                            },
+                                        });
+                                        frame_completed = true;
+                                    }
+                                }
+                            }
+                            Some(_) => {}
+                            None => {
+                                let fired = st.matcher.push(bit);
+                                match self.pending.as_mut() {
+                                    Some((_, candidates)) => {
+                                        for c in candidates.iter_mut() {
+                                            if c.phase == p && c.fire_tick < tick {
+                                                c.bits_since.push(bit);
+                                            }
+                                        }
+                                        if fired && !candidates.iter().any(|c| c.phase == p) {
+                                            candidates.push(Candidate {
+                                                phase: p,
+                                                distance: st.matcher.current_distance(),
+                                                quality: st.margin_sum,
+                                                fire_tick: tick,
+                                                bits_since: Vec::new(),
+                                            });
+                                        }
+                                    }
+                                    None => {
+                                        if fired {
+                                            self.pending = Some((
+                                                tick + sps as u64,
+                                                vec![Candidate {
+                                                    phase: p,
+                                                    distance: st.matcher.current_distance(),
+                                                    quality: st.margin_sum,
+                                                    fire_tick: tick,
+                                                    bits_since: Vec::new(),
+                                                }],
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if frame_completed {
+                    for q in self.phases.iter_mut() {
+                        q.matcher.reset();
+                    }
+                    self.pending = None;
+                }
+                if let Some((deadline, _)) = self.pending {
+                    if tick + 1 >= deadline && self.lock.is_none() {
+                        let (_, mut candidates) = self.pending.take().unwrap();
+                        candidates.sort_by(|a, b| {
+                            a.distance
+                                .cmp(&b.distance)
+                                .then(b.quality.partial_cmp(&a.quality).unwrap())
+                        });
+                        let winner = candidates.into_iter().next().unwrap();
+                        let start_tick =
+                            (winner.fire_tick + 1).saturating_sub((SYNC_BITS * sps) as u64);
+                        let mut bits = Vec::with_capacity(SYNC_BITS + winner.bits_since.len());
+                        bits.extend_from_slice(&crate::bits::bytes_to_bits(&PREAMBLE));
+                        bits.extend_from_slice(&crate::bits::bytes_to_bits(&SYNC_WORD));
+                        bits.extend_from_slice(&winner.bits_since);
+                        self.lock = Some(LockState {
+                            phase: winner.phase,
+                            start_tick,
+                            bits,
+                            total_bits: None,
+                            power_sum: 0.0,
+                            power_samples: 0,
+                        });
+                        events.push(DetectorEvent::SyncFound { start_tick });
+                    }
+                }
+            }
+            events
+        }
+    }
+
+    /// The pre-blocked [`SidMonitor`]: identical trigger logic, per-sample
+    /// sweep.
+    #[derive(Debug, Clone)]
+    pub struct RefSidMonitor {
+        mf_zero: Vec<C64>,
+        mf_one: Vec<C64>,
+        accum: Vec<(C64, C64)>,
+        matchers: Vec<SidMatcher>,
+        power_window: Vec<f64>,
+        power_head: usize,
+        power_sum: f64,
+        sps: usize,
+        next_tick: u64,
+        holdoff_until: u64,
+        in_reset_state: bool,
+    }
+
+    impl RefSidMonitor {
+        pub fn new(params: FskParams, sid: Vec<u8>, bthresh: usize) -> Self {
+            let sps = params.samples_per_symbol();
+            let window_len = sid.len() * sps;
+            RefSidMonitor {
+                mf_zero: tone_template(params, 0),
+                mf_one: tone_template(params, 1),
+                accum: vec![(C64::ZERO, C64::ZERO); sps],
+                matchers: (0..sps)
+                    .map(|_| SidMatcher::new(sid.clone(), bthresh))
+                    .collect(),
+                power_window: vec![0.0; window_len],
+                power_head: 0,
+                power_sum: 0.0,
+                sps,
+                next_tick: 0,
+                holdoff_until: 0,
+                in_reset_state: true,
+            }
+        }
+
+        pub fn push_block(&mut self, samples: &[C64]) -> Option<SidDetection> {
+            if !samples.is_empty() {
+                self.in_reset_state = false;
+            }
+            let mut detection = None;
+            for &s in samples {
+                let tick = self.next_tick;
+                self.next_tick += 1;
+
+                let p = s.norm_sq();
+                self.power_sum += p - self.power_window[self.power_head];
+                self.power_window[self.power_head] = p;
+                self.power_head = (self.power_head + 1) % self.power_window.len();
+
+                let base = (tick % self.sps as u64) as usize;
+                {
+                    let phase = sweep_phases(&mut self.accum, &self.mf_zero, &self.mf_one, s, base);
+                    let (c0, c1) = self.accum[phase];
+                    let bit = u8::from(c1.norm_sq() > c0.norm_sq());
+                    self.accum[phase] = (C64::ZERO, C64::ZERO);
+                    if self.matchers[phase].push(bit)
+                        && detection.is_none()
+                        && tick >= self.holdoff_until
+                    {
+                        detection = Some(SidDetection {
+                            tick,
+                            distance: self.matchers[phase].current_distance(),
+                            mean_power: self.power_sum / self.power_window.len() as f64,
+                        });
+                        self.holdoff_until = tick + (self.power_window.len() / 2) as u64;
+                    }
+                }
+            }
+            detection
+        }
+
+        pub fn reset(&mut self) {
+            for m in self.matchers.iter_mut() {
+                m.reset();
+            }
+            for a in self.accum.iter_mut() {
+                *a = (C64::ZERO, C64::ZERO);
+            }
+            self.in_reset_state = false;
+        }
+
+        pub fn advance_silent(&mut self, n: u64) {
+            if n == 0 {
+                return;
+            }
+            self.next_tick += n;
+            if self.in_reset_state {
+                return;
+            }
+            self.reset();
+            for p in self.power_window.iter_mut() {
+                *p = 0.0;
+            }
+            self.power_sum = 0.0;
+            self.power_head = 0;
+            self.in_reset_state = true;
+        }
+
+        pub fn tick(&self) -> u64 {
+            self.next_tick
+        }
     }
 }
 
@@ -731,6 +1154,143 @@ mod tests {
         assert_eq!(det.tick(), 100);
     }
 
+    // --- Blocked-rewrite edge cases ---
+
+    /// Compares two event streams requiring bit-level equality (including
+    /// the `mean_power` float, which `PartialEq` would compare by value).
+    fn assert_events_bit_identical(a: &[DetectorEvent], b: &[DetectorEvent]) {
+        assert_eq!(a.len(), b.len(), "event count: {a:?} vs {b:?}");
+        for (x, y) in a.iter().zip(b.iter()) {
+            match (x, y) {
+                (
+                    DetectorEvent::SyncFound { start_tick: s1 },
+                    DetectorEvent::SyncFound { start_tick: s2 },
+                ) => assert_eq!(s1, s2),
+                (
+                    DetectorEvent::FrameDone {
+                        result: r1,
+                        start_tick: s1,
+                        end_tick: t1,
+                        mean_power: p1,
+                    },
+                    DetectorEvent::FrameDone {
+                        result: r2,
+                        start_tick: s2,
+                        end_tick: t2,
+                        mean_power: p2,
+                    },
+                ) => {
+                    assert_eq!(r1, r2);
+                    assert_eq!(s1, s2);
+                    assert_eq!(t1, t2);
+                    assert_eq!(p1.to_bits(), p2.to_bits(), "mean_power {p1} vs {p2}");
+                }
+                _ => panic!("event kind mismatch: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sync_match_straddling_a_block_boundary() {
+        // Split the stream exactly around the sync-fire tick and the
+        // arbitration window that follows it: the carried accumulators and
+        // the pending-candidate state must survive the boundary, producing
+        // the same events as a single push.
+        let modem = FskModem::new(params());
+        let frame = make_frame(vec![0xA5; 4]);
+        let mut sig = vec![C64::ZERO; 30];
+        sig.extend(modem.modulate(&frame.to_bits()));
+        sig.extend(vec![C64::ZERO; 300]);
+
+        let mut whole = StreamingDetector::new(params(), 4);
+        let whole_events = whole.push_block(&sig);
+        assert_eq!(frames_from(&whole_events).len(), 1, "baseline must decode");
+
+        // The sync pattern's last symbol lands near 30 + SYNC_BITS·24.
+        let fire = 30 + SYNC_BITS * 24;
+        for split in [fire - 25, fire - 1, fire, fire + 1, fire + 12, fire + 23] {
+            let mut det = StreamingDetector::new(params(), 4);
+            let mut events = det.push_block(&sig[..split]);
+            events.extend(det.push_block(&sig[split..]));
+            assert_events_bit_identical(&events, &whole_events);
+        }
+    }
+
+    #[test]
+    fn competing_phases_in_one_arbitration_window() {
+        // Over a clean frame with a silent lead-in, nearly *every* phase
+        // matches the sync pattern in the same one-symbol window (22 of 24
+        // tie at distance 0 here — silence decodes identically at every
+        // alignment), so the tone-separation quality tie-break alone must
+        // pick an alignment clean enough to decode the frame, and the
+        // window must still collapse to exactly one lock.
+        let modem = FskModem::new(params());
+        let frame = make_frame(vec![3, 1, 4, 1, 5]);
+        let mut sig = vec![C64::ZERO; 55];
+        sig.extend(modem.modulate(&frame.to_bits()));
+        sig.extend(vec![C64::ZERO; 300]);
+
+        let mut det = StreamingDetector::new(params(), 6);
+        let mut syncs = 0;
+        let mut got = Vec::new();
+        for block in sig.chunks(16) {
+            for e in det.push_block(block) {
+                match e {
+                    DetectorEvent::SyncFound { .. } => syncs += 1,
+                    DetectorEvent::FrameDone { result, .. } => got.push(result.unwrap()),
+                }
+            }
+        }
+        assert_eq!(syncs, 1, "arbitration must produce exactly one lock");
+        assert_eq!(got, vec![frame]);
+
+        // At an extreme tolerance the whole window fires a full bit early
+        // (distance ~8 candidates, none perfectly aligned) — the harshest
+        // arbitration input; pin it bit-identically to the reference.
+        let mut a = StreamingDetector::new(params(), 12);
+        let mut b = reference::RefDetector::new(params(), 12);
+        for block in sig.chunks(7) {
+            assert_events_bit_identical(&a.push_block(block), &b.push_block(block));
+        }
+    }
+
+    #[test]
+    fn truncated_final_block_leaves_detector_locked() {
+        // The stream ends mid-frame: no FrameDone may be emitted, the lock
+        // must persist, and feeding the remainder later must complete the
+        // frame exactly as an unbroken stream would.
+        let modem = FskModem::new(params());
+        let frame = make_frame(vec![0x42; 7]);
+        let sig = modem.modulate(&frame.to_bits());
+        let cut = sig.len() - 5 * 24; // truncate the last 5 symbols
+
+        let mut det = StreamingDetector::new(params(), 4);
+        let events = det.push_block(&sig[..cut]);
+        assert!(
+            frames_from(&events).is_empty(),
+            "no frame from a truncation"
+        );
+        assert!(det.is_locked(), "lock must survive a truncated block");
+        assert_eq!(det.tick(), cut as u64);
+
+        let tail_events = det.push_block(&sig[cut..]);
+        let frames = frames_from(&tail_events);
+        assert_eq!(frames.len(), 1);
+        if let DetectorEvent::FrameDone { result, .. } = frames[0] {
+            assert_eq!(result.as_ref().unwrap(), &frame);
+        }
+    }
+
+    #[test]
+    fn empty_block_is_a_no_op() {
+        let mut det = StreamingDetector::new(params(), 4);
+        assert!(det.push_block(&[]).is_empty());
+        assert_eq!(det.tick(), 0);
+        let mut mon = SidMonitor::new(params(), sid(), 4);
+        assert_eq!(mon.push_block(&[]), None);
+        assert_eq!(mon.tick(), 0);
+    }
+
     // --- SidMonitor ---
 
     fn sid() -> Vec<u8> {
@@ -867,5 +1427,114 @@ mod tests {
             }
         }
         assert_eq!(count, 3);
+    }
+
+    // --- Old-vs-new equivalence (the blocked-correlator invariant) ---
+
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Parameter sets with different samples-per-symbol counts.
+        fn param_set(i: usize) -> FskParams {
+            let bitrate = [12.5e3, 25e3, 50e3][i % 3]; // sps 24, 12, 6
+            FskParams {
+                fs_hz: 300e3,
+                bitrate,
+                deviation_hz: 50e3,
+            }
+        }
+
+        /// A frame embedded in noise, with noisy lead-in and tail.
+        fn build_stream(
+            p: FskParams,
+            seed: u64,
+            payload: &[u8],
+            noise_power: f64,
+            lead: usize,
+        ) -> Vec<C64> {
+            let modem = FskModem::new(p);
+            let frame = make_frame(payload.to_vec());
+            let clean = modem.modulate(&frame.to_bits());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sig = white_noise(&mut rng, lead, noise_power);
+            let overlay = white_noise(&mut rng, clean.len(), noise_power);
+            sig.extend(clean.iter().zip(&overlay).map(|(&a, &b)| a + b));
+            sig.extend(white_noise(&mut rng, 3000, noise_power));
+            sig
+        }
+
+        proptest! {
+            /// The rewritten detector emits bit-identical events to the
+            /// pre-blocked reference on the same stream, at any chunking.
+            #[test]
+            fn detector_matches_reference(
+                seed in 0u64..1_000_000,
+                pset in 0usize..3,
+                payload_len in 0usize..=MAX_PAYLOAD,
+                noise_db in -40.0f64..6.0,
+                block_idx in 0usize..6,
+            ) {
+                let block = [1usize, 5, 16, 24, 37, 160][block_idx];
+                let p = param_set(pset);
+                let noise = hb_dsp::units::ratio_from_db(noise_db);
+                let sig = build_stream(p, seed, &vec![0x5Au8; payload_len], noise, 211);
+                let mut new = StreamingDetector::new(p, 4);
+                let mut old = reference::RefDetector::new(p, 4);
+                let mut did_reset = false;
+                for chunk in sig.chunks(block) {
+                    let a = new.push_block(chunk);
+                    let b = old.push_block(chunk);
+                    assert_events_bit_identical(&a, &b);
+                    // Once the frame region is past, exercise reset too.
+                    if !did_reset && new.tick() as usize >= sig.len().saturating_sub(1000) {
+                        new.reset();
+                        old.reset();
+                        did_reset = true;
+                    }
+                }
+            }
+
+            /// Same for the Sid monitor, including reset/advance_silent
+            /// interleavings (the squelch path the wideband shield uses).
+            #[test]
+            fn sid_monitor_matches_reference(
+                seed in 0u64..1_000_000,
+                pset in 0usize..3,
+                noise_db in -40.0f64..6.0,
+                block_idx in 0usize..4,
+                silent_gap in 0u64..4000,
+            ) {
+                let block = [1usize, 16, 24, 100][block_idx];
+                let p = param_set(pset);
+                let noise = hb_dsp::units::ratio_from_db(noise_db);
+                let sig = build_stream(p, seed, &[7, 7], noise, 137);
+                let mut new = SidMonitor::new(p, sid(), 4);
+                let mut old = reference::RefSidMonitor::new(p, sid(), 4);
+                for (i, chunk) in sig.chunks(block).enumerate() {
+                    let a = new.push_block(chunk);
+                    let b = old.push_block(chunk);
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            prop_assert_eq!(x.tick, y.tick);
+                            prop_assert_eq!(x.distance, y.distance);
+                            prop_assert_eq!(x.mean_power.to_bits(), y.mean_power.to_bits());
+                        }
+                        (x, y) => prop_assert!(false, "detection mismatch: {:?} vs {:?}", x, y),
+                    }
+                    // Exercise the squelch/reset paths mid-stream.
+                    if i == 7 {
+                        new.reset();
+                        old.reset();
+                    }
+                    if i == 11 {
+                        new.advance_silent(silent_gap);
+                        old.advance_silent(silent_gap);
+                        prop_assert_eq!(new.tick(), old.tick());
+                    }
+                }
+            }
+        }
     }
 }

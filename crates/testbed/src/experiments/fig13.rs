@@ -17,11 +17,11 @@ use super::Effort;
 /// Result of the Fig. 13 experiment.
 #[derive(Debug, Clone)]
 pub struct Fig13Result {
-    /// (location, P[success]) with the shield absent.
+    /// (location, P\[success\]) with the shield absent.
     pub absent: Vec<(usize, f64)>,
-    /// (location, P[success]) with the shield present.
+    /// (location, P\[success\]) with the shield present.
     pub present: Vec<(usize, f64)>,
-    /// (location, P[alarm]) with the shield present.
+    /// (location, P\[alarm\]) with the shield present.
     pub alarm: Vec<(usize, f64)>,
     /// Fraction of shield-present successes that also raised an alarm
     /// (the paper's key safety property: 1.0).

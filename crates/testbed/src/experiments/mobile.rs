@@ -79,8 +79,8 @@ pub fn path(n: usize) -> Vec<Waypoint> {
 /// Result of the mobile-adversary sweep.
 #[derive(Debug, Clone)]
 pub struct MobileResult {
-    /// Per-waypoint rows: (distance to patient m, P[success] shield
-    /// absent, P[success] shield present, P[shield engages jamming]).
+    /// Per-waypoint rows: (distance to patient m, P\[success\] shield
+    /// absent, P\[success\] shield present, P\[shield engages jamming\]).
     pub rows: Vec<(f64, f64, f64, f64)>,
     /// Rendered artifact.
     pub artifact: Artifact,
