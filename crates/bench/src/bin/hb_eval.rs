@@ -26,6 +26,11 @@
 //! * `--effort` defaults to each experiment's `default_effort()`.
 //! * `--threads N` pins the sweep runner's worker count (same as the
 //!   `HB_THREADS` environment variable); results do not depend on it.
+//! * `--ci` widens CSV output with `ci_lo,ci_hi,n` columns carrying the
+//!   adaptive Monte-Carlo confidence intervals (blank for purely
+//!   deterministic series); JSON and text always include the intervals.
+//! * Contradictory selections (`--list` with `run`/`--all`, `--all` with
+//!   explicit names) are rejected up front.
 
 use hb_testbed::experiments::registry::{self, EvalCtx, Experiment};
 use hb_testbed::experiments::Effort;
@@ -54,6 +59,7 @@ impl Format {
 }
 
 /// Parsed command line.
+#[derive(Debug)]
 struct Args {
     list: bool,
     all: bool,
@@ -62,15 +68,20 @@ struct Args {
     seed: u64,
     format: Format,
     out_dir: String,
+    ci: bool,
 }
 
 const USAGE: &str = "usage:
   hb_eval --list [--format text|csv|json|md]
   hb_eval run <name>... [--effort quick|full|tiny] [--seed N]
-                        [--threads N] [--format text|csv|json] [--out-dir DIR]
+                        [--threads N] [--format text|csv|json] [--ci]
+                        [--out-dir DIR]
   hb_eval --all [same flags as run]
 
-`hb_eval --list` shows every registered experiment.";
+`hb_eval --list` shows every registered experiment.
+`--ci` adds ci_lo/ci_hi/n confidence-interval columns to CSV output
+(text and JSON always carry the intervals where an experiment computes
+them).";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -81,6 +92,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: registry::DEFAULT_SEED,
         format: Format::Text,
         out_dir: "results".to_string(),
+        ci: false,
     };
     let mut it = argv.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -124,8 +136,27 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.format = Format::parse(&v).ok_or_else(|| format!("unknown format '{v}'"))?;
             }
             "--out-dir" => args.out_dir = value(&mut it, "--out-dir")?,
+            "--ci" => args.ci = true,
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
+    }
+    // Contradictory selections fail fast instead of silently privileging
+    // one mode (previously `--list` won and the rest was dropped).
+    if args.list && (args.all || !args.names.is_empty()) {
+        return Err(format!(
+            "--list cannot be combined with run/--all: it only prints the registry\n\n{USAGE}"
+        ));
+    }
+    if args.all && !args.names.is_empty() {
+        return Err(format!(
+            "--all already selects every experiment; drop the explicit names {:?}\n\n{USAGE}",
+            args.names
+        ));
+    }
+    if args.list && args.ci {
+        return Err(format!(
+            "--ci applies to experiment runs, not --list\n\n{USAGE}"
+        ));
     }
     Ok(args)
 }
@@ -234,6 +265,7 @@ fn main() -> ExitCode {
     // one CSV header total, and multiple JSON artifacts as a JSON array.
     let multi = selected.len() > 1;
     match args.format {
+        Format::Csv if args.ci => println!("experiment,series,x,y,ci_lo,ci_hi,n"),
         Format::Csv => println!("experiment,series,x,y"),
         Format::Json if multi => println!("["),
         _ => {}
@@ -266,7 +298,11 @@ fn main() -> ExitCode {
                 }
             }
             Format::Csv => {
-                let csv = artifact.to_csv();
+                let csv = if args.ci {
+                    artifact.to_csv_ci()
+                } else {
+                    artifact.to_csv()
+                };
                 let csv_path = format!("{}/{stem}.csv", args.out_dir);
                 if std::fs::write(&csv_path, &csv).is_err() {
                     eprintln!("cannot write {csv_path}");
@@ -291,4 +327,40 @@ fn main() -> ExitCode {
         args.out_dir
     );
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Args, String> {
+        parse_args(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn plain_modes_parse() {
+        assert!(parse(&["--list"]).is_ok());
+        assert!(parse(&["--all", "--ci"]).is_ok());
+        let a = parse(&["run", "fig8", "fig9", "--seed", "5", "--ci"]).unwrap();
+        assert_eq!(a.names, ["fig8", "fig9"]);
+        assert_eq!(a.seed, 5);
+        assert!(a.ci);
+    }
+
+    #[test]
+    fn list_conflicts_are_rejected() {
+        // Previously `--list` silently won and the run request was dropped.
+        let err = parse(&["--list", "run", "fig8"]).unwrap_err();
+        assert!(err.contains("--list cannot be combined"), "{err}");
+        let err = parse(&["--all", "--list"]).unwrap_err();
+        assert!(err.contains("--list cannot be combined"), "{err}");
+        let err = parse(&["--list", "--ci"]).unwrap_err();
+        assert!(err.contains("--ci applies to experiment runs"), "{err}");
+    }
+
+    #[test]
+    fn all_with_names_is_rejected() {
+        let err = parse(&["--all", "run", "fig8"]).unwrap_err();
+        assert!(err.contains("--all already selects"), "{err}");
+    }
 }

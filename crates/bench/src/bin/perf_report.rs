@@ -267,6 +267,32 @@ fn main() {
         ));
     }
 
+    {
+        // The adaptive Monte-Carlo engine's own bookkeeping: a no-op trial
+        // through a full cap-bounded run (4096 trials over ~7 doubling
+        // rounds, single worker) isolates seed derivation, count pooling
+        // and Wilson-interval evaluation from simulation cost. This is the
+        // fixed tax every adaptive experiment pays per data point — it
+        // must stay negligible next to one real exchange (~ms).
+        use hb_testbed::montecarlo::{adaptive_proportions_with, McConfig};
+        let cfg = McConfig {
+            initial_trials: 64,
+            max_trials: 4096,
+            target_half_width: 0.0, // unreachable: always runs to the cap
+            z: hb_dsp::stats::Z_95,
+            bootstrap_resamples: 0,
+        };
+        timings.push(time_kernel(
+            "montecarlo_round_overhead",
+            "4096-trial adaptive run (no-op trials): engine overhead only",
+            20 * scale,
+            move || {
+                let run = adaptive_proportions_with(1, &cfg, 11, |s| [(s & 1, 1), (s & 2, 2)]);
+                std::hint::black_box(run.estimates[0].ci_hi);
+            },
+        ));
+    }
+
     // --- Layer 3: one full relayed exchange and a quick Fig. 9 ---
     timings.push(time_kernel(
         "relay_one_exchange",

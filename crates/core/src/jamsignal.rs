@@ -45,23 +45,53 @@ pub fn fsk_power_profile(params: FskParams, fft_size: usize) -> Vec<f64> {
 /// Experiments that rebuild a scenario per (location, repetition) hit the
 /// cache after the first build.
 pub fn jam_profile_for_fsk(params: FskParams, fft_size: usize) -> Vec<f64> {
-    use std::sync::{Mutex, OnceLock};
-    type Key = (u64, u64, u64, usize);
-    type Cache = Mutex<Vec<(Key, Vec<f64>)>>;
-    static CACHE: OnceLock<Cache> = OnceLock::new();
-    let key: Key = (
+    let key: CacheKey = (
         params.fs_hz.to_bits(),
         params.bitrate.to_bits(),
         params.deviation_hz.to_bits(),
         fft_size,
     );
-    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
-    if let Some((_, profile)) = cache.lock().unwrap().iter().find(|(k, _)| *k == key) {
+    // The lock is held across the lookup *and* the insert: dropping it in
+    // between let two threads computing the same key both push, so the
+    // process-wide cache accumulated duplicate multi-KB profiles. Serial
+    // first derivation of a key is the price, and it is paid once.
+    let mut cache = profile_cache().lock().unwrap();
+    if let Some((_, profile)) = cache.iter().find(|(k, _)| *k == key) {
         return profile.clone();
     }
     let profile = jam_profile_for_fsk_uncached(params, fft_size);
-    cache.lock().unwrap().push((key, profile.clone()));
+    cache.push((key, profile.clone()));
     profile
+}
+
+type CacheKey = (u64, u64, u64, usize);
+type ProfileCache = std::sync::Mutex<Vec<(CacheKey, Vec<f64>)>>;
+
+/// The process-wide memoized profile store behind [`jam_profile_for_fsk`].
+fn profile_cache() -> &'static ProfileCache {
+    static CACHE: std::sync::OnceLock<ProfileCache> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| std::sync::Mutex::new(Vec::new()))
+}
+
+/// Number of cache entries [`jam_profile_for_fsk`] holds for one
+/// `(params, fft_size)` key (test hook: the cache-race regression test
+/// asserts concurrent callers of a fresh key insert exactly one entry;
+/// key-scoped so unrelated tests inserting other keys in parallel cannot
+/// perturb the count).
+#[doc(hidden)]
+pub fn jam_profile_cache_entries(params: FskParams, fft_size: usize) -> usize {
+    let key: CacheKey = (
+        params.fs_hz.to_bits(),
+        params.bitrate.to_bits(),
+        params.deviation_hz.to_bits(),
+        fft_size,
+    );
+    profile_cache()
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|(k, _)| *k == key)
+        .count()
 }
 
 fn jam_profile_for_fsk_uncached(params: FskParams, fft_size: usize) -> Vec<f64> {
@@ -189,6 +219,31 @@ mod tests {
 
     fn params() -> FskParams {
         FskParams::mics_default()
+    }
+
+    #[test]
+    fn concurrent_profile_derivation_inserts_one_entry() {
+        // Regression test for the check-then-push race: before the lock
+        // was held across lookup+insert, N threads racing on a fresh key
+        // could each push their own copy of the multi-KB profile. Use a
+        // parameter set no other test touches so the key is cold here.
+        let mut p = params();
+        p.deviation_hz = 41_787.0;
+        assert_eq!(jam_profile_cache_entries(p, 128), 0, "key must be cold");
+        let profiles: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(move || jam_profile_for_fsk(p, 128)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            jam_profile_cache_entries(p, 128),
+            1,
+            "8 concurrent derivations of one key must insert exactly once"
+        );
+        for w in profiles.windows(2) {
+            assert_eq!(w[0], w[1], "all callers must see the same profile");
+        }
     }
 
     #[test]

@@ -1,7 +1,87 @@
-//! Small statistics toolkit: running moments, empirical CDFs, histograms.
+//! Small statistics toolkit: running moments, empirical CDFs, histograms,
+//! and interval estimators.
 //!
 //! The paper reports almost everything as CDFs (Fig. 7, 9, 10) or
 //! min/mean/std tables (Table 1, Table 2); these types back those reports.
+//! The interval estimators ([`wilson_interval`] for proportions,
+//! [`bootstrap_mean_interval`] for continuous metrics) back the adaptive
+//! Monte-Carlo engine in `hb_testbed::montecarlo`: statistical claims
+//! (BER ≈ 0.5, attack success ≈ 0) are asserted as "the confidence
+//! interval excludes the forbidden region", not as point estimates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// z-score of the two-sided 95% confidence level.
+pub const Z_95: f64 = 1.959963984540054;
+
+/// z-score of the two-sided 99% confidence level.
+pub const Z_99: f64 = 2.5758293035489004;
+
+/// Wilson score interval for a binomial proportion: returns `(lo, hi)`
+/// bounds on the true success probability given `successes` out of
+/// `trials` at z-score `z` (e.g. [`Z_95`]).
+///
+/// Unlike the naive Wald interval, Wilson stays inside `[0, 1]`, never
+/// collapses to zero width at `p̂ ∈ {0, 1}`, and always contains the point
+/// estimate `successes / trials` — the properties the proptests in
+/// `crates/dsp/tests/proptests.rs` pin. With `trials == 0` the interval
+/// is the uninformative `(0, 1)`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(successes <= trials, "more successes than trials");
+    assert!(z > 0.0, "z-score must be positive");
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `samples`:
+/// draws `resamples` with-replacement resamples using an RNG derived from
+/// `seed` (fully deterministic), and returns the `(alpha/2, 1-alpha/2)`
+/// quantiles of the resampled means. `alpha = 0.05` gives a 95% interval.
+///
+/// Returns `(mean, mean)` for fewer than 2 samples (no spread to
+/// estimate) and the resampled quantiles otherwise; the interval always
+/// stays within `[min, max]` of the samples by construction.
+pub fn bootstrap_mean_interval(
+    samples: &[f64],
+    resamples: usize,
+    alpha: f64,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(resamples > 0, "need at least one bootstrap resample");
+    assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+    let n = samples.len();
+    if n < 2 {
+        let m = samples.first().copied().unwrap_or(0.0);
+        return (m, m);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut acc = 0.0;
+            for _ in 0..n {
+                acc += samples[rng.gen_range(0..n)];
+            }
+            acc / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |q: f64| -> f64 {
+        let idx = ((q * means.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(means.len() - 1);
+        means[idx]
+    };
+    (pick(alpha / 2.0), pick(1.0 - alpha / 2.0))
+}
 
 /// Incremental mean/variance accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default)]
@@ -301,6 +381,59 @@ mod tests {
         assert_eq!(h.counts()[9], 1);
         assert_eq!(h.out_of_range(), (1, 1));
         assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_known_values() {
+        // 50/100 at 95%: the textbook interval is roughly (0.404, 0.596).
+        let (lo, hi) = wilson_interval(50, 100, Z_95);
+        assert!((lo - 0.4038).abs() < 1e-3, "lo {lo}");
+        assert!((hi - 0.5962).abs() < 1e-3, "hi {hi}");
+        // Zero successes: lo pins to 0, hi is z²/(n+z²).
+        let (lo0, hi0) = wilson_interval(0, 20, Z_95);
+        assert_eq!(lo0, 0.0);
+        assert!((hi0 - Z_95 * Z_95 / (20.0 + Z_95 * Z_95)).abs() < 1e-12);
+        // All successes mirrors it.
+        let (lo1, hi1) = wilson_interval(20, 20, Z_95);
+        assert_eq!(hi1, 1.0);
+        assert!((lo1 - (1.0 - hi0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_empty_is_uninformative() {
+        assert_eq!(wilson_interval(0, 0, Z_95), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_wider_at_higher_confidence() {
+        let (lo95, hi95) = wilson_interval(30, 80, Z_95);
+        let (lo99, hi99) = wilson_interval(30, 80, Z_99);
+        assert!(lo99 < lo95 && hi99 > hi95);
+    }
+
+    #[test]
+    fn bootstrap_interval_brackets_the_mean() {
+        let samples: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let (lo, hi) = bootstrap_mean_interval(&samples, 500, 0.05, 99);
+        assert!(lo <= mean && mean <= hi, "({lo}, {hi}) vs mean {mean}");
+        assert!(lo >= 0.0 && hi <= 6.0, "interval within sample range");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_in_the_seed() {
+        let samples: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let a = bootstrap_mean_interval(&samples, 200, 0.05, 7);
+        let b = bootstrap_mean_interval(&samples, 200, 0.05, 7);
+        assert_eq!(a, b);
+        let c = bootstrap_mean_interval(&samples, 200, 0.05, 8);
+        assert_ne!(a, c, "different seeds should resample differently");
+    }
+
+    #[test]
+    fn bootstrap_degenerate_inputs() {
+        assert_eq!(bootstrap_mean_interval(&[], 100, 0.05, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_mean_interval(&[3.5], 100, 0.05, 1), (3.5, 3.5));
     }
 
     #[test]

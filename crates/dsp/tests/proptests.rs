@@ -8,7 +8,7 @@ use hb_dsp::goertzel::{goertzel, tone_correlate};
 use hb_dsp::kernels::{ln_batch, sincos_turns_batch};
 use hb_dsp::noise::NoiseSource;
 use hb_dsp::osc::Rotator;
-use hb_dsp::stats::Cdf;
+use hb_dsp::stats::{bootstrap_mean_interval, wilson_interval, Cdf, Z_95};
 use hb_dsp::units::{db_from_ratio, ratio_from_db};
 use hb_dsp::window::Window;
 use proptest::prelude::*;
@@ -126,6 +126,63 @@ proptest! {
         }
         prop_assert!((last - 1.0).abs() < 1e-12);
         prop_assert!(cdf.quantile(0.0) <= cdf.quantile(1.0));
+    }
+
+    /// Wilson intervals always contain the point estimate, stay within
+    /// [0, 1], and are properly ordered — for any (successes, trials, z).
+    #[test]
+    fn wilson_contains_point_estimate(
+        trials in 1u64..100_000,
+        frac in 0.0f64..=1.0,
+        z in 0.5f64..4.0,
+    ) {
+        let successes = ((trials as f64) * frac).round() as u64;
+        let successes = successes.min(trials);
+        let p = successes as f64 / trials as f64;
+        let (lo, hi) = wilson_interval(successes, trials, z);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= hi);
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "({lo}, {hi}) vs p {p}");
+    }
+
+    /// Wilson interval half-widths shrink monotonically as the sample
+    /// grows at a fixed observed proportion (4x the data, same p̂).
+    #[test]
+    fn wilson_shrinks_with_n(
+        trials in 4u64..100_000,
+        frac in 0.0f64..=1.0,
+    ) {
+        let successes = ((trials as f64) * frac).round() as u64;
+        let successes = successes.min(trials);
+        let (lo1, hi1) = wilson_interval(successes, trials, Z_95);
+        let (lo4, hi4) = wilson_interval(4 * successes, 4 * trials, Z_95);
+        prop_assert!(
+            hi4 - lo4 < hi1 - lo1,
+            "width at 4n ({}) must be below width at n ({})",
+            hi4 - lo4,
+            hi1 - lo1
+        );
+    }
+
+    /// Bootstrap intervals bracket the sample mean and never leave the
+    /// sample range, for any sample set, resample count, and seed.
+    #[test]
+    fn bootstrap_brackets_sample_mean(
+        samples in prop::collection::vec(-1e6f64..1e6, 2..80),
+        resamples in 20usize..200,
+        seed in 0u64..1_000_000,
+    ) {
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let (lo, hi) = bootstrap_mean_interval(&samples, resamples, 0.05, seed);
+        prop_assert!(lo <= hi);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo >= min - 1e-9 && hi <= max + 1e-9);
+        // The percentile interval brackets the sample mean up to quantile
+        // granularity (slack of one resample's worth of range on each
+        // side covers nearest-rank rounding at small resample counts).
+        let slack = (max - min) / resamples as f64 + 1e-9;
+        prop_assert!(lo <= mean + slack && mean <= hi + slack, "({lo}, {hi}) vs mean {mean}");
     }
 
     /// Inner product is conjugate-symmetric: <a,b> = conj(<b,a>).

@@ -135,6 +135,51 @@ pub fn success_probability(
     successes as f64 / attempts as f64
 }
 
+/// Adaptive success-probability estimate: one attack attempt per trial,
+/// grown in deterministic rounds until the Wilson interval reaches the
+/// effort's half-width target — capped at the effort's attempt budget, so
+/// the degenerate arms (success ≈ 0 or ≈ 1, whose intervals tighten
+/// slowly) cost no more than the legacy fixed-sample sweep.
+pub fn success_probability_ci(
+    location: usize,
+    shield_on: bool,
+    attacker_cfg: &AttackerConfig,
+    goal: AttackGoal,
+    effort: &super::Effort,
+    seed: u64,
+) -> crate::montecarlo::Estimate {
+    success_probability_ci_with(
+        crate::parallel::threads(),
+        location,
+        shield_on,
+        attacker_cfg,
+        goal,
+        effort,
+        seed,
+    )
+}
+
+/// [`success_probability_ci`] with an explicit worker count (location
+/// sweeps fan out across locations and run each arm single-worker).
+pub fn success_probability_ci_with(
+    workers: usize,
+    location: usize,
+    shield_on: bool,
+    attacker_cfg: &AttackerConfig,
+    goal: AttackGoal,
+    effort: &super::Effort,
+    seed: u64,
+) -> crate::montecarlo::Estimate {
+    let cfg = crate::montecarlo::McConfig::from_effort(effort)
+        .with_max_trials(effort.attempts_per_location);
+    crate::montecarlo::adaptive_proportion_with(workers, &cfg, seed, |s| {
+        (
+            attack_once(location, shield_on, attacker_cfg, goal, s).success as u64,
+            1,
+        )
+    })
+}
+
 /// Result of the Fig. 11 experiment.
 #[derive(Debug, Clone)]
 pub struct Fig11Result {

@@ -6,6 +6,7 @@
 //! the CDF is low because the adversary's SINR is location-independent
 //! (Eq. 7).
 
+use crate::montecarlo::{self, Estimate, McConfig};
 use crate::report::{Artifact, Series};
 use crate::scenario::{ScenarioBuilder, ScenarioConfig};
 use hb_adversary::eavesdropper::Eavesdropper;
@@ -14,11 +15,17 @@ use hb_imd::commands::Command;
 
 use super::{relay_one_exchange, Effort};
 
+/// Exchanges per adaptive trial (fresh scenario per trial — see
+/// [`super::fig8`]).
+const PACKETS_PER_TRIAL: usize = 2;
+
 /// Result of the Fig. 9 experiment.
 #[derive(Debug, Clone)]
 pub struct Fig9Result {
     /// Per-location mean BER, indexed by location number.
     pub ber_per_location: Vec<(usize, f64)>,
+    /// Per-location BER estimates with confidence intervals.
+    pub ber_ci: Vec<(usize, Estimate)>,
     /// The pooled CDF.
     pub cdf: Cdf,
     /// Rendered artifact.
@@ -58,37 +65,95 @@ pub fn ber_at_location(location: usize, packets: usize, seed: u64) -> f64 {
     }
 }
 
-/// Runs the 18-location sweep. Locations run in parallel on the sweep
-/// runner; each task derives its seed from `(seed, location)` before the
-/// fan-out, so the results are identical at any thread count.
+/// One adaptive trial at `location`: a fresh scenario from the derived
+/// seed (fresh shadowing; IMD model alternates by seed parity, pooling
+/// both devices as the paper does), [`PACKETS_PER_TRIAL`] exchanges,
+/// `(bit_errors, bits)` out.
+fn location_trial(location: usize, seed: u64) -> (u64, u64) {
+    let mut cfg = ScenarioConfig::paper(seed);
+    cfg.imd_model = if seed.is_multiple_of(2) {
+        crate::scenario::ImdModel::VirtuosoIcd
+    } else {
+        crate::scenario::ImdModel::ConcertoCrt
+    };
+    let mut builder = ScenarioBuilder::new(cfg);
+    let eve_ant = builder.add_at_location(location, "eavesdropper");
+    let mut scenario = builder.build();
+    let mut eve = Eavesdropper::new(scenario.imd.config().fsk, eve_ant, scenario.channel());
+
+    let mut errors = 0u64;
+    let mut total = 0u64;
+    for _ in 0..PACKETS_PER_TRIAL {
+        relay_one_exchange(&mut scenario, &mut [&mut eve], Command::Interrogate);
+        for record in scenario.imd.take_tx_log() {
+            let ber = eve.ber_against(record.start_tick, &record.bits);
+            errors += (ber * record.bits.len() as f64).round() as u64;
+            total += record.bits.len() as u64;
+        }
+        eve.clear();
+    }
+    (errors.min(total), total)
+}
+
+/// Adaptive BER estimate at one location: trials grow in deterministic
+/// rounds until the Wilson interval reaches the effort's half-width
+/// target (or its trial cap).
+pub fn ber_at_location_ci(location: usize, effort: &Effort, seed: u64) -> Estimate {
+    ber_at_location_ci_with(crate::parallel::threads(), location, effort, seed)
+}
+
+/// [`ber_at_location_ci`] with an explicit worker count ([`run`] fans out
+/// across locations and runs each location's loop single-worker).
+pub fn ber_at_location_ci_with(
+    workers: usize,
+    location: usize,
+    effort: &Effort,
+    seed: u64,
+) -> Estimate {
+    let cfg = McConfig::from_effort(effort);
+    montecarlo::adaptive_proportion_with(workers, &cfg, seed, |s| location_trial(location, s))
+}
+
+/// Runs the 18-location sweep through the adaptive engine. Locations run
+/// in parallel on the sweep runner; each location's master seed derives
+/// from `(seed, location)` before the fan-out and its adaptive loop runs
+/// single-worker, so the results are identical at any thread count.
 pub fn run(effort: Effort, seed: u64) -> Fig9Result {
-    let per_loc: Vec<(usize, f64)> = crate::parallel::parallel_map_n(18, |i| {
+    let ber_ci: Vec<(usize, Estimate)> = crate::parallel::parallel_map_n(18, |i| {
         let loc = i + 1;
-        let ber = ber_at_location(
-            loc,
-            effort.packets_per_location,
-            seed.wrapping_add(loc as u64),
-        );
-        (loc, ber)
+        let est =
+            ber_at_location_ci_with(1, loc, &effort, montecarlo::trial_seed(seed, loc as u64));
+        (loc, est)
     });
+    let per_loc: Vec<(usize, f64)> = ber_ci.iter().map(|&(l, e)| (l, e.mean)).collect();
     let cdf = Cdf::from_samples(per_loc.iter().map(|&(_, b)| b).collect());
     let mut artifact = Artifact::new(
         "Figure 9",
         "CDF of an eavesdropper's BER over all 18 locations (jamming at +20 dB)",
     );
     artifact.push_series(Series::new("BER CDF", cdf.points()));
-    artifact.push_series(Series::new(
+    artifact.push_series(Series::from_estimates(
         "BER by location",
-        per_loc.iter().map(|&(l, b)| (l as f64, b)).collect(),
+        &ber_ci
+            .iter()
+            .map(|&(l, e)| (l as f64, e))
+            .collect::<Vec<_>>(),
     ));
+    let max_hw = ber_ci
+        .iter()
+        .map(|&(_, e)| e.half_width())
+        .fold(0.0, f64::max);
     artifact.note(format!(
-        "BER range {:.3}..{:.3}, median {:.3} (paper: ~0.5 at all locations, low variance)",
+        "BER range {:.3}..{:.3}, median {:.3}, max CI half-width {:.3} \
+         (paper: ~0.5 at all locations, low variance)",
         cdf.min(),
         cdf.max(),
-        cdf.median()
+        cdf.median(),
+        max_hw
     ));
     Fig9Result {
         ber_per_location: per_loc,
+        ber_ci,
         cdf,
         artifact,
     }
@@ -116,12 +181,17 @@ mod tests {
     #[test]
     fn near_and_far_locations_both_guess() {
         // Location independence (Eq. 7): 20 cm and 27 m eavesdroppers see
-        // the same ~50% BER. Sampled at 8 packets so the estimate sits
-        // well inside the ±0.1 bound (grow further rather than loosening
-        // the bound — ROADMAP).
-        let near = ber_at_location(1, 8, 3);
-        let far = ber_at_location(13, 8, 3);
-        assert!((near - 0.5).abs() < 0.1, "near BER {near}");
-        assert!((far - 0.5).abs() < 0.1, "far BER {far}");
+        // the same ~50% BER. Adaptive CI form of the old ±0.1 bound: the
+        // whole interval must sit inside it, for any `HB_TEST_SEED`.
+        let seed = super::super::test_seed(3);
+        let effort = Effort {
+            ci_half_width: 0.03,
+            mc_max_trials: 64,
+            ..Effort::tiny()
+        };
+        let near = ber_at_location_ci(1, &effort, seed);
+        let far = ber_at_location_ci(13, &effort, seed ^ 0x0D);
+        assert!(near.within(0.4, 0.6), "near BER CI {near:?}");
+        assert!(far.within(0.4, 0.6), "far BER CI {far:?}");
     }
 }

@@ -48,6 +48,12 @@ use hb_imd::commands::Command;
 
 /// Experiment sizing: `quick` keeps unit tests and CI fast; `full`
 /// approaches the paper's sample counts.
+///
+/// The `ci_half_width`/`mc_max_trials` pair is the adaptive Monte-Carlo
+/// knob ([`crate::montecarlo`]): statistical experiments stop growing
+/// their sample as soon as every tracked confidence interval is at least
+/// that tight, and never run past the trial cap — so `full` buys interval
+/// precision, not a fixed (possibly wasteful) sample count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Effort {
     /// IMD packets observed per eavesdropper location (Figs. 8–10).
@@ -56,6 +62,10 @@ pub struct Effort {
     pub attempts_per_location: usize,
     /// Repetitions for calibration-style measurements (Fig. 7, Table 1).
     pub runs: usize,
+    /// Target CI half-width for adaptive Monte-Carlo experiments.
+    pub ci_half_width: f64,
+    /// Trial-task cap per adaptive Monte-Carlo data point.
+    pub mc_max_trials: usize,
 }
 
 impl Effort {
@@ -65,6 +75,8 @@ impl Effort {
             packets_per_location: 12,
             attempts_per_location: 10,
             runs: 40,
+            ci_half_width: 0.05,
+            mc_max_trials: 48,
         }
     }
 
@@ -74,6 +86,8 @@ impl Effort {
             packets_per_location: 100,
             attempts_per_location: 60,
             runs: 200,
+            ci_half_width: 0.015,
+            mc_max_trials: 1024,
         }
     }
 
@@ -83,6 +97,8 @@ impl Effort {
             packets_per_location: 3,
             attempts_per_location: 3,
             runs: 8,
+            ci_half_width: 0.12,
+            mc_max_trials: 8,
         }
     }
 
@@ -95,6 +111,17 @@ impl Effort {
             _ => None,
         }
     }
+}
+
+/// The seed the statistical unit tests run under: `HB_TEST_SEED` if set
+/// (CI's seed-robustness job sweeps it to prove the CI-based assertions
+/// hold for *any* seed, not one lucky stream), otherwise `default`.
+#[doc(hidden)]
+pub fn test_seed(default: u64) -> u64 {
+    std::env::var("HB_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Drives one shield-relayed exchange: queues `cmd` on the shield, then

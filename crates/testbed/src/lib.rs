@@ -8,6 +8,9 @@
 //! * [`experiments`] — one module per table/figure, plus ablations and
 //!   extension scenarios, all behind the
 //!   [`experiments::registry::Experiment`] trait and its static registry.
+//! * [`montecarlo`] — the adaptive sampling engine: grows trial counts in
+//!   deterministic rounds until Wilson/bootstrap confidence intervals hit
+//!   a target half-width (the statistical experiments ride it).
 //! * [`report`] — paper-style rendering plus CSV and JSON export.
 
 #![forbid(unsafe_code)]
@@ -16,6 +19,7 @@
 pub mod crosstraffic;
 pub mod experiments;
 pub mod layout;
+pub mod montecarlo;
 pub mod parallel;
 pub mod report;
 pub mod scenario;
@@ -23,5 +27,6 @@ pub mod scenario;
 pub use experiments::registry::{EvalCtx, Experiment};
 pub use experiments::Effort;
 pub use layout::Fig6Layout;
+pub use montecarlo::{Estimate, McConfig};
 pub use parallel::threads as parallel_threads;
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioConfig};

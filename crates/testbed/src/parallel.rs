@@ -14,13 +14,27 @@
 //! both give identical results).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 
 /// The number of worker threads sweeps use: `HB_THREADS` if set (minimum
 /// 1), otherwise [`std::thread::available_parallelism`].
+///
+/// An unparseable `HB_THREADS` falls back to 1 worker and warns once on
+/// stderr — a typo'd value must not silently serialize a sweep.
 pub fn threads() -> usize {
     match std::env::var("HB_THREADS") {
-        Ok(v) => v.parse::<usize>().unwrap_or(1).max(1),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                static WARN_ONCE: Once = Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: HB_THREADS={v:?} is not a number; running with 1 worker thread"
+                    );
+                });
+                1
+            }
+        },
         Err(_) => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -58,6 +72,12 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    // A panicking task must surface *its own* panic to the caller, not a
+    // `PoisonError` from a surviving slot: every task runs under
+    // `catch_unwind`, payloads collect here, and after the join the
+    // lowest-index payload is re-raised verbatim. Slot mutexes are locked
+    // only for the (non-panicking) store, so they can never be poisoned.
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -65,11 +85,22 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let out = f(i, &items[i]);
-                *slots[i].lock().unwrap() = Some(out);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, &items[i]))) {
+                    Ok(out) => *slots[i].lock().unwrap() = Some(out),
+                    Err(payload) => {
+                        panics.lock().unwrap().push((i, payload));
+                        break;
+                    }
+                }
             });
         }
     });
+    let mut panics = panics.into_inner().unwrap();
+    if !panics.is_empty() {
+        // Deterministic choice among concurrent panics: the earliest item.
+        panics.sort_by_key(|(i, _)| *i);
+        std::panic::resume_unwind(panics.remove(0).1);
+    }
     slots
         .into_iter()
         .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
@@ -126,5 +157,45 @@ mod tests {
     fn empty_input() {
         let out: Vec<u8> = parallel_map::<u64, u8, _>(&[], |_, _| 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_verbatim() {
+        // A panicking task must propagate its own message — not a
+        // PoisonError unwrap from one of the surviving slots.
+        let items: Vec<u64> = (0..64).collect();
+        let err = std::panic::catch_unwind(|| {
+            parallel_map_with(4, &items, |i, &x| {
+                if i == 13 {
+                    panic!("task 13 exploded on value {x}");
+                }
+                x
+            })
+        })
+        .expect_err("the panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("task 13 exploded on value 13"),
+            "original panic message must survive, got {msg:?}"
+        );
+    }
+
+    #[test]
+    fn earliest_of_concurrent_panics_wins() {
+        // With every task panicking, the caller deterministically sees the
+        // lowest item index regardless of scheduling.
+        let items: Vec<u64> = (0..32).collect();
+        let err = std::panic::catch_unwind(|| {
+            parallel_map_with(4, &items, |i, _: &u64| -> u64 { panic!("boom at {i}") })
+        })
+        .expect_err("the panic must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        // Each worker dies on its first claimed item, so exactly indices
+        // 0..4 panic and the earliest — 0 — wins deterministically.
+        assert_eq!(msg, "boom at 0");
     }
 }

@@ -1,6 +1,7 @@
 //! Experiment result rendering: paper-style text tables, ASCII bar charts,
 //! and CSV export (hand-rolled — no serialization dependency needed).
 
+use crate::montecarlo::Estimate;
 use std::fmt::Write as _;
 
 /// A labelled series of (x, y) points — one figure line/curve.
@@ -10,14 +11,30 @@ pub struct Series {
     pub label: String,
     /// Data points.
     pub points: Vec<(f64, f64)>,
+    /// Optional per-point confidence annotation, parallel to `points`:
+    /// `(ci_lo, ci_hi, n)` where `n` is the pooled denominator. Present
+    /// on series produced by the adaptive Monte-Carlo engine
+    /// ([`crate::montecarlo`]); `None` for deterministic curves.
+    pub ci: Option<Vec<(f64, f64, u64)>>,
 }
 
 impl Series {
-    /// Creates a series.
+    /// Creates a series without confidence annotations.
     pub fn new(label: &str, points: Vec<(f64, f64)>) -> Self {
         Series {
             label: label.to_string(),
             points,
+            ci: None,
+        }
+    }
+
+    /// Creates a series from adaptive Monte-Carlo estimates: the point is
+    /// the pooled mean, the annotation its interval and sample size.
+    pub fn from_estimates(label: &str, data: &[(f64, Estimate)]) -> Self {
+        Series {
+            label: label.to_string(),
+            points: data.iter().map(|&(x, e)| (x, e.mean)).collect(),
+            ci: Some(data.iter().map(|&(_, e)| (e.ci_lo, e.ci_hi, e.n)).collect()),
         }
     }
 }
@@ -70,6 +87,24 @@ impl Artifact {
         out
     }
 
+    /// Confidence-aware CSV rendering (`hb_eval --ci`): adds
+    /// `ci_lo,ci_hi,n` columns, left empty on points without annotations —
+    /// the plain [`Artifact::to_csv`] header stays stable for existing
+    /// downstream tooling.
+    pub fn to_csv_ci(&self) -> String {
+        let mut out = String::from("series,x,y,ci_lo,ci_hi,n\n");
+        for s in &self.series {
+            for (pi, &(x, y)) in s.points.iter().enumerate() {
+                let tail = match s.ci.as_ref().and_then(|ci| ci.get(pi)) {
+                    Some(&(lo, hi, n)) => format!("{lo},{hi},{n}"),
+                    None => ",,".to_string(),
+                };
+                let _ = writeln!(out, "{},{x},{y},{tail}", csv_escape(&s.label));
+            }
+        }
+        out
+    }
+
     /// JSON rendering (hand-rolled, like [`Artifact::to_csv`] — no
     /// serialization dependency): an object with `id`, `caption`,
     /// `series` (each `{label, points: [[x, y], ...]}`), and `notes`.
@@ -94,9 +129,20 @@ impl Artifact {
                 }
                 let _ = write!(out, "[{}, {}]", json_number(x), json_number(y));
             }
+            out.push(']');
+            if let Some(ci) = &s.ci {
+                out.push_str(", \"ci\": [");
+                for (pi, &(lo, hi, n)) in ci.iter().enumerate() {
+                    if pi > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "[{}, {}, {n}]", json_number(lo), json_number(hi));
+                }
+                out.push(']');
+            }
             let _ = writeln!(
                 out,
-                "]}}{}",
+                "}}{}",
                 if si + 1 < self.series.len() { "," } else { "" }
             );
         }
@@ -119,7 +165,10 @@ impl Artifact {
         let _ = writeln!(out, "=== {} — {} ===", self.id, self.caption);
         for s in &self.series {
             let _ = writeln!(out, "\n  [{}]", s.label);
-            out.push_str(&ascii_chart(&s.points, 46));
+            match &s.ci {
+                Some(ci) => out.push_str(&ascii_chart_ci(&s.points, ci, 32)),
+                None => out.push_str(&ascii_chart(&s.points, 46)),
+            }
         }
         if !self.notes.is_empty() {
             let _ = writeln!(out, "\n  notes:");
@@ -192,6 +241,38 @@ pub fn ascii_chart(points: &[(f64, f64)], width: usize) -> String {
     out
 }
 
+/// [`ascii_chart`] with a 95% interval column: each row shows the point
+/// estimate, its `[lo, hi]` interval and pooled sample size before the
+/// proportional bar.
+pub fn ascii_chart_ci(points: &[(f64, f64)], ci: &[(f64, f64, u64)], width: usize) -> String {
+    if points.is_empty() {
+        return "   (no data)\n".to_string();
+    }
+    let ymax = points
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let ymin = points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+    let span = (ymax - ymin).max(1e-12);
+    let mut out = String::new();
+    for (pi, &(x, y)) in points.iter().enumerate() {
+        let frac = ((y - ymin) / span).clamp(0.0, 1.0);
+        let bar = "#".repeat(1 + (frac * (width - 1) as f64) as usize);
+        match ci.get(pi) {
+            Some(&(lo, hi, n)) => {
+                let _ = writeln!(
+                    out,
+                    "   {x:>10.3} | {y:>8.4} [{lo:>7.4}, {hi:>7.4}] n={n:<7} {bar}"
+                );
+            }
+            None => {
+                let _ = writeln!(out, "   {x:>10.3} | {y:>12.5} {bar}");
+            }
+        }
+    }
+    out
+}
+
 /// Renders a min/mean/std table row set (Table 1 style).
 pub fn stat_table(title: &str, rows: &[(&str, f64)]) -> String {
     let mut out = String::new();
@@ -246,6 +327,67 @@ mod tests {
         let json = a.to_json();
         assert!(json.contains("\"series\": [\n  ]"));
         assert!(json.contains("\"notes\": [\n  ]"));
+    }
+
+    fn ci_artifact() -> Artifact {
+        let mut a = Artifact::new("Figure Y", "ci test");
+        a.push_series(Series::from_estimates(
+            "ber",
+            &[
+                (
+                    0.0,
+                    Estimate {
+                        mean: 0.5,
+                        ci_lo: 0.4,
+                        ci_hi: 0.6,
+                        n: 96,
+                    },
+                ),
+                (
+                    20.0,
+                    Estimate {
+                        mean: 0.25,
+                        ci_lo: 0.125,
+                        ci_hi: 0.375,
+                        n: 48,
+                    },
+                ),
+            ],
+        ));
+        a.push_series(Series::new("plain", vec![(1.0, 2.0)]));
+        a
+    }
+
+    #[test]
+    fn ci_csv_carries_interval_columns() {
+        let csv = ci_artifact().to_csv_ci();
+        assert!(csv.starts_with("series,x,y,ci_lo,ci_hi,n\n"));
+        assert!(csv.contains("ber,0,0.5,0.4,0.6,96"));
+        assert!(csv.contains("ber,20,0.25,0.125,0.375,48"));
+        // Series without annotations keep the column count with blanks.
+        assert!(csv.contains("plain,1,2,,,"));
+        // The plain CSV stays byte-stable: no CI columns leak in.
+        let plain = ci_artifact().to_csv();
+        assert!(plain.starts_with("series,x,y\n"));
+        assert!(plain.contains("ber,0,0.5\n"));
+    }
+
+    #[test]
+    fn ci_json_adds_ci_array_only_when_present() {
+        let json = ci_artifact().to_json();
+        assert!(json.contains("\"ci\": [[0.4, 0.6, 96], [0.125, 0.375, 48]]"));
+        // The unannotated series has no "ci" key on its line.
+        let plain_line = json
+            .lines()
+            .find(|l| l.contains("\"plain\""))
+            .expect("plain series rendered");
+        assert!(!plain_line.contains("\"ci\""));
+    }
+
+    #[test]
+    fn ci_render_shows_intervals() {
+        let text = ci_artifact().render();
+        assert!(text.contains("[ 0.4000,  0.6000] n=96"));
     }
 
     #[test]
