@@ -29,13 +29,27 @@
 //! * `--ci` widens CSV output with `ci_lo,ci_hi,n` columns carrying the
 //!   adaptive Monte-Carlo confidence intervals (blank for purely
 //!   deterministic series); JSON and text always include the intervals.
+//! * `--checkpoint-dir DIR` journals every adaptive Monte-Carlo round
+//!   under `DIR/<experiment>/`; `--resume` restarts an interrupted run
+//!   from those journals and produces the byte-identical artifact an
+//!   uninterrupted run would have. `--deadline-secs N` stops cleanly at a
+//!   round boundary once the budget expires, writing partial artifacts
+//!   marked `truncated` (exit code 3).
+//! * All artifact files are written atomically (`.tmp` + fsync + rename).
+//!   A failed write no longer aborts the run: remaining experiments still
+//!   execute, and the exit code is non-zero with the affected experiments
+//!   named on stderr.
 //! * Contradictory selections (`--list` with `run`/`--all`, `--all` with
 //!   explicit names) are rejected up front.
 
+use hb_testbed::checkpoint::{self, RunCtl};
 use hb_testbed::experiments::registry::{self, EvalCtx, Experiment};
 use hb_testbed::experiments::Effort;
+use std::collections::BTreeSet;
+use std::path::Path;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Stdout rendering / file formats.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,19 +83,28 @@ struct Args {
     format: Format,
     out_dir: String,
     ci: bool,
+    checkpoint_dir: Option<String>,
+    resume: bool,
+    deadline_secs: Option<f64>,
 }
 
 const USAGE: &str = "usage:
   hb_eval --list [--format text|csv|json|md]
   hb_eval run <name>... [--effort quick|full|tiny] [--seed N]
                         [--threads N] [--format text|csv|json] [--ci]
-                        [--out-dir DIR]
+                        [--out-dir DIR] [--checkpoint-dir DIR] [--resume]
+                        [--deadline-secs N]
   hb_eval --all [same flags as run]
 
 `hb_eval --list` shows every registered experiment.
 `--ci` adds ci_lo/ci_hi/n confidence-interval columns to CSV output
 (text and JSON always carry the intervals where an experiment computes
-them).";
+them).
+`--checkpoint-dir DIR` journals adaptive Monte-Carlo progress under
+DIR/<experiment>/ after every round; `--resume` continues an interrupted
+run from those journals (bit-identical to an uninterrupted run).
+`--deadline-secs N` stops cleanly at a checkpoint once N seconds have
+elapsed, marking partial artifacts as truncated (exit code 3).";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -93,6 +116,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         format: Format::Text,
         out_dir: "results".to_string(),
         ci: false,
+        checkpoint_dir: None,
+        resume: false,
+        deadline_secs: None,
     };
     let mut it = argv.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -137,6 +163,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--out-dir" => args.out_dir = value(&mut it, "--out-dir")?,
             "--ci" => args.ci = true,
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value(&mut it, "--checkpoint-dir")?),
+            "--resume" => args.resume = true,
+            "--deadline-secs" => {
+                let v = value(&mut it, "--deadline-secs")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad deadline '{v}'"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!(
+                        "--deadline-secs needs a positive number, got '{v}'"
+                    ));
+                }
+                args.deadline_secs = Some(secs);
+            }
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
     }
@@ -156,6 +194,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.list && args.ci {
         return Err(format!(
             "--ci applies to experiment runs, not --list\n\n{USAGE}"
+        ));
+    }
+    if args.list && (args.checkpoint_dir.is_some() || args.resume || args.deadline_secs.is_some()) {
+        return Err(format!(
+            "--checkpoint-dir/--resume/--deadline-secs apply to experiment runs, not --list\n\n{USAGE}"
+        ));
+    }
+    if args.resume && args.checkpoint_dir.is_none() {
+        return Err(format!(
+            "--resume needs --checkpoint-dir DIR to know where the journals live\n\n{USAGE}"
         ));
     }
     Ok(args)
@@ -261,6 +309,16 @@ fn main() -> ExitCode {
         hb_testbed::parallel_threads()
     );
     let t0 = Instant::now();
+    // One deadline for the whole invocation: every experiment's adaptive
+    // loops check it between rounds and stop at a checkpoint.
+    let deadline = args
+        .deadline_secs
+        .map(|secs| Instant::now() + Duration::from_secs_f64(secs));
+    // Write failures no longer abort the run: remaining experiments (and
+    // their checkpoints) still complete, and the exit code reports which
+    // experiments lost artifacts.
+    let mut write_failures: Vec<String> = Vec::new();
+    let mut truncated: Vec<&str> = Vec::new();
     // Stdout must stay machine-readable for any number of experiments:
     // one CSV header total, and multiple JSON artifacts as a JSON array.
     let multi = selected.len() > 1;
@@ -275,14 +333,33 @@ fn main() -> ExitCode {
             args.effort.unwrap_or_else(|| exp.default_effort()),
             args.seed,
         );
+        let ckpt_dir = args
+            .checkpoint_dir
+            .as_ref()
+            .map(|d| Path::new(d).join(exp.name()));
+        let ctl = Arc::new(RunCtl::new(ckpt_dir, args.resume, deadline));
         let t = Instant::now();
-        let (artifact, stem) = registry::run_one(*exp, &ctx);
+        let (artifact, stem, health) = registry::run_one_with(*exp, &ctx, &ctl);
         eprintln!("{} done in {:.1}s", exp.name(), t.elapsed().as_secs_f64());
+        if health.degraded() {
+            eprintln!(
+                "{}: degraded — {} trial(s) quarantined (see the checkpoint journals)",
+                exp.name(),
+                health.quarantined
+            );
+        }
+        if health.truncated {
+            eprintln!(
+                "{}: deadline expired — partial artifact marked truncated",
+                exp.name()
+            );
+            truncated.push(exp.name());
+        }
         let json = artifact.to_json();
         let json_path = format!("{}/{stem}.json", args.out_dir);
-        if std::fs::write(&json_path, &json).is_err() {
-            eprintln!("cannot write {json_path}");
-            return ExitCode::FAILURE;
+        if let Err(e) = checkpoint::atomic_write(Path::new(&json_path), json.as_bytes()) {
+            eprintln!("cannot write {json_path}: {e}");
+            write_failures.push(exp.name().to_string());
         }
         match args.format {
             Format::Text => print!("{}", artifact.render()),
@@ -304,9 +381,9 @@ fn main() -> ExitCode {
                     artifact.to_csv()
                 };
                 let csv_path = format!("{}/{stem}.csv", args.out_dir);
-                if std::fs::write(&csv_path, &csv).is_err() {
-                    eprintln!("cannot write {csv_path}");
-                    return ExitCode::FAILURE;
+                if let Err(e) = checkpoint::atomic_write(Path::new(&csv_path), csv.as_bytes()) {
+                    eprintln!("cannot write {csv_path}: {e}");
+                    write_failures.push(exp.name().to_string());
                 }
                 // Per-file CSV keeps its own header; stdout gets one
                 // header plus an experiment-name column.
@@ -326,6 +403,21 @@ fn main() -> ExitCode {
         t0.elapsed().as_secs_f64(),
         args.out_dir
     );
+    if !write_failures.is_empty() {
+        let affected: BTreeSet<&str> = write_failures.iter().map(String::as_str).collect();
+        eprintln!(
+            "error: artifact write(s) failed for: {}",
+            affected.into_iter().collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    if !truncated.is_empty() {
+        eprintln!(
+            "deadline truncated: partial artifacts for: {}",
+            truncated.join(", ")
+        );
+        return ExitCode::from(3);
+    }
     ExitCode::SUCCESS
 }
 
@@ -362,5 +454,37 @@ mod tests {
     fn all_with_names_is_rejected() {
         let err = parse(&["--all", "run", "fig8"]).unwrap_err();
         assert!(err.contains("--all already selects"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let a = parse(&[
+            "run",
+            "fig9",
+            "--checkpoint-dir",
+            "ckpt",
+            "--resume",
+            "--deadline-secs",
+            "90.5",
+        ])
+        .unwrap();
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert!(a.resume);
+        assert_eq!(a.deadline_secs, Some(90.5));
+    }
+
+    #[test]
+    fn checkpoint_flag_misuse_is_rejected() {
+        let err = parse(&["run", "fig9", "--resume"]).unwrap_err();
+        assert!(err.contains("--resume needs --checkpoint-dir"), "{err}");
+        let err = parse(&["--list", "--checkpoint-dir", "ckpt"]).unwrap_err();
+        assert!(err.contains("apply to experiment runs"), "{err}");
+        for bad in ["0", "-3", "nan", "inf", "x"] {
+            let err = parse(&["run", "fig9", "--deadline-secs", bad]).unwrap_err();
+            assert!(
+                err.contains("deadline"),
+                "deadline '{bad}' must be rejected: {err}"
+            );
+        }
     }
 }

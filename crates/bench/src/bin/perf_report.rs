@@ -292,6 +292,43 @@ fn main() {
             },
         ));
     }
+    {
+        // The same cap-bounded no-op run, but journaled: every doubling
+        // round encodes, checksums, fsyncs, and atomically renames a
+        // checkpoint journal. The delta against `montecarlo_round_overhead`
+        // is the full crash-safety tax per adaptive run (~7 fsynced
+        // journal writes, a few ms total). That is per *data point*, not
+        // per trial: a real data point simulates hundreds of ~ms
+        // exchanges, so the tax must stay well under a percent of that.
+        use hb_testbed::checkpoint::RunCtl;
+        use hb_testbed::montecarlo::{adaptive_proportions_ctl, McConfig};
+        let cfg = McConfig {
+            initial_trials: 64,
+            max_trials: 4096,
+            target_half_width: 0.0, // unreachable: always runs to the cap
+            z: hb_dsp::stats::Z_95,
+            bootstrap_resamples: 0,
+        };
+        let dir = std::env::temp_dir().join(format!("hb_perf_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        timings.push(time_kernel(
+            "montecarlo_resume_overhead",
+            "4096-trial adaptive run with per-round journal checkpoints",
+            20 * scale,
+            {
+                let dir = dir.clone();
+                move || {
+                    let ctl = RunCtl::new(Some(dir.clone()), false, None);
+                    let run: hb_testbed::montecarlo::McRun<2> =
+                        adaptive_proportions_ctl(1, &cfg, 11, Some(&ctl), |s| {
+                            [(s & 1, 1), (s & 2, 2)]
+                        });
+                    std::hint::black_box(run.estimates[0].ci_hi);
+                }
+            },
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     // --- Layer 3: one full relayed exchange and a quick Fig. 9 ---
     timings.push(time_kernel(

@@ -1,0 +1,183 @@
+//! End-to-end crash safety of the `hb_eval` binary: a run killed by the
+//! fault injector mid-evaluation, then resumed with `--resume`, produces
+//! a byte-identical JSON artifact to an uninterrupted run — at
+//! `HB_THREADS=1` and `4`. Also exercises graceful degradation
+//! (`HB_FAULT=panic:<i>` → run completes with `"degraded": true`) and
+//! artifact-write failure reporting (`HB_FAULT=io_fail:<substr>` → exit
+//! code 1 naming the affected experiment).
+//!
+//! These spawn the real binary (`CARGO_BIN_EXE_hb_eval`), so the fault
+//! injector's process-global state — the env-parsed fault, the round
+//! counter, the `exit(86)` — behaves exactly as in production.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const CRASH_EXIT_CODE: i32 = 86;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hb_crashres_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `hb_eval run fig9 --effort tiny` with the given extra args,
+/// thread count, and optional `HB_FAULT`, never inheriting a fault from
+/// the test environment.
+fn hb_eval(extra: &[&str], threads: usize, fault: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hb_eval"));
+    cmd.args(["run", "fig9", "--effort", "tiny"])
+        .args(extra)
+        .env("HB_THREADS", threads.to_string())
+        .env_remove("HB_FAULT");
+    if let Some(f) = fault {
+        cmd.env("HB_FAULT", f);
+    }
+    cmd.output().expect("spawn hb_eval")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted_byte_for_byte() {
+    let mut artifacts: Vec<Vec<u8>> = Vec::new();
+    for threads in [1usize, 4] {
+        let ckpt = tmp_dir(&format!("ckpt_{threads}"));
+        let out_crash = tmp_dir(&format!("out_crash_{threads}"));
+        let out_clean = tmp_dir(&format!("out_clean_{threads}"));
+
+        // Phase 1: the injected crash kills the process right after the
+        // first round's journal hits disk — exactly a mid-run kill.
+        let crashed = hb_eval(
+            &[
+                "--out-dir",
+                out_crash.to_str().unwrap(),
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+            ],
+            threads,
+            Some("crash_after_round:1"),
+        );
+        assert_eq!(
+            crashed.status.code(),
+            Some(CRASH_EXIT_CODE),
+            "injected crash must exit {CRASH_EXIT_CODE}; stderr:\n{}",
+            stderr_of(&crashed)
+        );
+        assert!(
+            std::fs::read_dir(ckpt.join("fig9"))
+                .map(|d| d.count() > 0)
+                .unwrap_or(false),
+            "the crash must leave at least one journal behind"
+        );
+
+        // Phase 2: resume from the journals, no fault installed.
+        let resumed = hb_eval(
+            &[
+                "--out-dir",
+                out_crash.to_str().unwrap(),
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--resume",
+            ],
+            threads,
+            None,
+        );
+        assert!(
+            resumed.status.success(),
+            "resume must succeed; stderr:\n{}",
+            stderr_of(&resumed)
+        );
+
+        // Phase 3: an uninterrupted run for comparison.
+        let clean = hb_eval(&["--out-dir", out_clean.to_str().unwrap()], threads, None);
+        assert!(clean.status.success(), "{}", stderr_of(&clean));
+
+        let resumed_json = std::fs::read(out_crash.join("figure_9.json")).expect("resumed json");
+        let clean_json = std::fs::read(out_clean.join("figure_9.json")).expect("clean json");
+        assert_eq!(
+            resumed_json, clean_json,
+            "resumed artifact must be byte-identical at {threads} thread(s)"
+        );
+        assert_eq!(
+            resumed.stdout, clean.stdout,
+            "resumed stdout must match at {threads} thread(s)"
+        );
+        artifacts.push(clean_json);
+
+        for d in [&ckpt, &out_crash, &out_clean] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+    // The engine is thread-count invariant, so the 1- and 4-thread
+    // artifacts must agree too.
+    assert_eq!(artifacts[0], artifacts[1]);
+}
+
+#[test]
+fn quarantined_panic_degrades_gracefully() {
+    let ckpt = tmp_dir("quar_ckpt");
+    let out = tmp_dir("quar_out");
+    // Trial index 1 runs in the first round at tiny effort (round 1 is
+    // trials {0, 1}), so this fires in every adaptive call.
+    let run = hb_eval(
+        &[
+            "--out-dir",
+            out.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+        ],
+        1,
+        Some("panic:1"),
+    );
+    assert!(
+        run.status.success(),
+        "a quarantined panic must not kill the run; stderr:\n{}",
+        stderr_of(&run)
+    );
+    let json = std::fs::read_to_string(out.join("figure_9.json")).expect("artifact written");
+    assert!(
+        json.contains("\"degraded\": true"),
+        "artifact must carry the degraded flag:\n{json}"
+    );
+    assert!(
+        json.contains("\"quarantined\":"),
+        "artifact must report the quarantine count:\n{json}"
+    );
+    assert!(
+        stderr_of(&run).contains("degraded"),
+        "stderr must surface the degradation:\n{}",
+        stderr_of(&run)
+    );
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn artifact_write_failure_sets_exit_code_and_names_the_experiment() {
+    let out = tmp_dir("iofail_out");
+    let run = hb_eval(
+        &["--out-dir", out.to_str().unwrap()],
+        1,
+        Some("io_fail:figure_9"),
+    );
+    assert_eq!(
+        run.status.code(),
+        Some(1),
+        "failed artifact writes must exit 1; stderr:\n{}",
+        stderr_of(&run)
+    );
+    let err = stderr_of(&run);
+    assert!(
+        err.contains("artifact write(s) failed for: fig9"),
+        "stderr must name the affected experiment:\n{err}"
+    );
+    assert!(
+        !out.join("figure_9.json").exists(),
+        "the atomic write must not leave a partial artifact"
+    );
+    let _ = std::fs::remove_dir_all(&out);
+}

@@ -1,0 +1,50 @@
+//! Tiny integrity checksums for on-disk run state.
+//!
+//! The crash-safe evaluation runtime (`hb_testbed::checkpoint`) stamps
+//! every journal with a length + checksum header so a torn or corrupted
+//! write is detected on load and treated as "no journal" rather than
+//! resumed from. The checksum is FNV-1a/64: not cryptographic, but a
+//! dependency-free hash with good avalanche on short inputs — exactly the
+//! right tool for detecting truncation and bit rot, which is all the
+//! journal format asks of it.
+
+/// FNV-1a 64-bit hash of `bytes`.
+///
+/// Uses the standard offset basis `0xcbf29ce484222325` and prime
+/// `0x100000001b3`, so values match every other FNV-1a implementation —
+/// journals stay checkable by external tooling.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference values from the FNV specification's test suite.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn sensitive_to_order_and_truncation() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+        assert_ne!(fnv1a64(b"journal"), fnv1a64(b"journa"));
+        // Single-bit flips move the hash (avalanche sanity).
+        let a = fnv1a64(&[0b0000_0000; 32]);
+        let b = fnv1a64(&{
+            let mut v = [0b0000_0000; 32];
+            v[16] = 0b0000_0001;
+            v
+        });
+        assert_ne!(a, b);
+    }
+}

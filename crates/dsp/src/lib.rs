@@ -22,6 +22,8 @@
 //!   per-sample trig).
 //! * [`spectrum`] — Welch PSD estimation and power profiles (Fig. 4/5).
 //! * [`cfo`] — carrier frequency offset modeling and estimation.
+//! * [`checksum`] — FNV-1a hashing for the crash-safe run journal's
+//!   integrity header.
 //! * [`window`], [`special`], [`units`], [`stats`] — supporting math.
 //!
 //! The crate has no unsafe code and every public item is documented.
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod cfo;
+pub mod checksum;
 pub mod complex;
 pub mod correlator;
 pub mod fft;

@@ -24,7 +24,9 @@
 use super::{ablation, battery, fig10, fig11, fig12, fig13};
 use super::{fig3, fig4, fig5, fig7, fig8, fig9};
 use super::{mobile, table1, table2, ward, Effort};
+use crate::checkpoint::{self, RunCtl, RunHealth};
 use crate::report::Artifact;
+use std::sync::Arc;
 
 /// The canonical default master seed shared by every driver
 /// (`full_evaluation`, `hb_eval`): SIGCOMM'11 started August 15, 2011.
@@ -98,6 +100,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &battery::BatteryExperiment,
     &ward::WardExperiment,
     &mobile::MobileExperiment,
+    &crate::crosstraffic::CrossTrafficExperiment,
 ];
 
 /// The full registry, in canonical order.
@@ -117,6 +120,29 @@ pub fn run_one(exp: &dyn Experiment, ctx: &EvalCtx) -> (Artifact, String) {
     let artifact = exp.run(ctx);
     let stem = file_stem(&artifact.id);
     (artifact, stem)
+}
+
+/// [`run_one`] under a crash-safe run control: installs `ctl` as the
+/// process's active [`RunCtl`] for the duration of the run (the adaptive
+/// Monte-Carlo engine picks it up for journaling, resume, quarantine,
+/// and the deadline), then stamps the resulting health onto the artifact
+/// — but only when the run was degraded or truncated, so healthy
+/// artifacts stay byte-identical to [`run_one`]'s.
+pub fn run_one_with(
+    exp: &dyn Experiment,
+    ctx: &EvalCtx,
+    ctl: &Arc<RunCtl>,
+) -> (Artifact, String, RunHealth) {
+    let mut artifact = {
+        let _guard = checkpoint::install(ctl.clone());
+        exp.run(ctx)
+    };
+    let health = ctl.health();
+    if health.flagged() {
+        artifact.health = Some(health);
+    }
+    let stem = file_stem(&artifact.id);
+    (artifact, stem, health)
 }
 
 /// The `results/` file stem for an artifact id: lowercased, spaces to
@@ -154,6 +180,6 @@ mod tests {
         let names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
         assert_eq!(&names[..3], &["fig3", "fig4", "fig5"]);
         assert_eq!(names[10], "table1");
-        assert_eq!(*names.last().unwrap(), "mobile-adversary");
+        assert_eq!(*names.last().unwrap(), "crosstraffic");
     }
 }

@@ -11,11 +11,16 @@
 //! * [`montecarlo`] — the adaptive sampling engine: grows trial counts in
 //!   deterministic rounds until Wilson/bootstrap confidence intervals hit
 //!   a target half-width (the statistical experiments ride it).
+//! * [`checkpoint`] — the crash-safe run layer: integrity-checked
+//!   journals the engine checkpoints after every round (interrupted runs
+//!   resume bit-identically), per-trial panic quarantine, deadlines, and
+//!   the `HB_FAULT` fault-injection harness.
 //! * [`report`] — paper-style rendering plus CSV and JSON export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod crosstraffic;
 pub mod experiments;
 pub mod layout;
@@ -24,6 +29,7 @@ pub mod parallel;
 pub mod report;
 pub mod scenario;
 
+pub use checkpoint::{RunCtl, RunHealth};
 pub use experiments::registry::{EvalCtx, Experiment};
 pub use experiments::Effort;
 pub use layout::Fig6Layout;

@@ -28,9 +28,25 @@
 //!
 //! Stopping decisions are themselves computed from pooled (deterministic)
 //! counts, so adaptivity never breaks reproducibility.
+//!
+//! # Crash safety
+//!
+//! When a driver installs a [`checkpoint::RunCtl`] (e.g. `hb_eval
+//! --checkpoint-dir`), every adaptive call journals its pooled state
+//! after each round and — on `--resume` — restarts from the journal.
+//! Because stopping points are prefix-stable, a resumed run follows the
+//! exact round schedule of an uninterrupted one and produces the
+//! bit-identical [`Estimate`]. Independently of journaling, every trial
+//! runs under `catch_unwind`: a panicking trial is quarantined (it
+//! contributes no counts but still consumes its index, so the seed
+//! stream of the surviving trials is unperturbed) and the run completes
+//! degraded instead of tearing down the evaluation. A healthy run with
+//! no `RunCtl` takes none of these paths and its output is unchanged.
 
+use crate::checkpoint::{self, Journal, JournalCfg, JournalKind, Quarantine, RunCtl};
 use crate::parallel;
 use hb_dsp::stats::{bootstrap_mean_interval, wilson_interval, Z_95};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A point estimate with its confidence interval: the unit every adaptive
 /// experiment reports per data point (and the `Artifact` CI series carry).
@@ -116,10 +132,17 @@ impl McConfig {
 pub struct McRun<const K: usize> {
     /// Final pooled estimates, one per tracked proportion.
     pub estimates: [Estimate; K],
-    /// Trial tasks executed.
+    /// Trial tasks executed (including quarantined ones).
     pub trials: u64,
     /// Cumulative estimates after each completed round.
     pub trace: Vec<[Estimate; K]>,
+    /// Trials whose panic was caught and isolated; empty on a healthy
+    /// run. Each record carries the trial's index, seed, and panic
+    /// message for exact replay.
+    pub quarantines: Vec<Quarantine>,
+    /// True if an installed deadline stopped the run before convergence
+    /// or the trial cap.
+    pub truncated: bool,
 }
 
 /// Derives the seed of global trial `index` from the master seed —
@@ -160,49 +183,119 @@ pub fn adaptive_proportions_with<F, const K: usize>(
 where
     F: Fn(u64) -> [(u64, u64); K] + Sync,
 {
+    let ctl = checkpoint::current();
+    adaptive_proportions_ctl(workers, cfg, seed, ctl.as_deref(), trial)
+}
+
+/// [`adaptive_proportions_with`] against an explicit [`RunCtl`] instead
+/// of the process-installed one — what the crash-safety tests use to
+/// exercise journaling, resume, quarantine, and deadlines without
+/// touching global state. `ctl: None` disables all of them.
+pub fn adaptive_proportions_ctl<F, const K: usize>(
+    workers: usize,
+    cfg: &McConfig,
+    seed: u64,
+    ctl: Option<&RunCtl>,
+    trial: F,
+) -> McRun<K>
+where
+    F: Fn(u64) -> [(u64, u64); K] + Sync,
+{
     let mut pooled = [(0u64, 0u64); K];
     let mut done = 0usize;
     let mut trace = Vec::new();
+    let mut quarantines: Vec<Quarantine> = Vec::new();
+    let mut truncated = false;
     let mut estimates = [Estimate {
         mean: 0.0,
         ci_lo: 0.0,
         ci_hi: 1.0,
         n: 0,
     }; K];
-    while done < cfg.max_trials {
+
+    let journal_path = ctl.and_then(|c| c.claim_journal(seed, K, "p"));
+    if let (Some(c), Some(path)) = (ctl, journal_path.as_ref()) {
+        if c.resuming() {
+            if let Some(j) = Journal::load(path) {
+                if let JournalKind::Proportions(pools) = &j.kind {
+                    if j.matches(seed, &journal_cfg(cfg)) && pools.len() == K {
+                        for (dst, &src) in pooled.iter_mut().zip(pools.iter()) {
+                            *dst = src;
+                        }
+                        done = j.done as usize;
+                        quarantines = j.quarantines;
+                    }
+                }
+            }
+        }
+    }
+    if done > 0 {
+        refresh_estimates(&mut estimates, &pooled, cfg);
+    }
+
+    // Loop-top checks reproduce the original post-round breaks exactly:
+    // a fresh run enters with `done == 0` and behaves as before; a
+    // resumed run re-evaluates the crashed run's last stopping decision
+    // from the restored counts, so it continues (or stops) precisely
+    // where an uninterrupted run would have.
+    loop {
+        if done > 0 && converged(&estimates, cfg) {
+            break;
+        }
+        if done >= cfg.max_trials {
+            break;
+        }
+        if ctl.is_some_and(|c| c.deadline_expired()) {
+            truncated = true;
+            break;
+        }
         let batch = next_batch(cfg, done);
         let indices: Vec<u64> = (done as u64..(done + batch) as u64).collect();
-        let results =
-            parallel::parallel_map_with(workers, &indices, |_, &i| trial(trial_seed(seed, i)));
-        for counts in &results {
-            for (pool, &(s, t)) in pooled.iter_mut().zip(counts.iter()) {
-                debug_assert!(s <= t, "trial reported more successes than trials");
-                pool.0 = pool.0.saturating_add(s);
-                pool.1 = pool.1.saturating_add(t);
+        let results = parallel::parallel_map_with(workers, &indices, |_, &i| {
+            let s = trial_seed(seed, i);
+            guarded_trial(i, s, || trial(s))
+        });
+        for result in results {
+            match result {
+                Ok(counts) => {
+                    for (pool, &(s, t)) in pooled.iter_mut().zip(counts.iter()) {
+                        debug_assert!(s <= t, "trial reported more successes than trials");
+                        pool.0 = pool.0.saturating_add(s);
+                        pool.1 = pool.1.saturating_add(t);
+                    }
+                }
+                Err(q) => quarantines.push(q),
             }
         }
         done += batch;
-        for (est, &(s, t)) in estimates.iter_mut().zip(pooled.iter()) {
-            let (lo, hi) = wilson_interval(s.min(t), t, cfg.z);
-            *est = Estimate {
-                mean: if t > 0 { s as f64 / t as f64 } else { 0.5 },
-                ci_lo: lo,
-                ci_hi: hi,
-                n: t,
-            };
-        }
+        refresh_estimates(&mut estimates, &pooled, cfg);
         trace.push(estimates);
-        let converged = estimates
-            .iter()
-            .all(|e| e.n > 0 && e.half_width() <= cfg.target_half_width);
-        if converged {
-            break;
+        if let Some(path) = journal_path.as_ref() {
+            store_journal(
+                ctl,
+                path,
+                &Journal {
+                    master: seed,
+                    cfg: journal_cfg(cfg),
+                    done: done as u64,
+                    kind: JournalKind::Proportions(pooled.to_vec()),
+                    quarantines: quarantines.clone(),
+                },
+            );
         }
+    }
+    if let Some(c) = ctl {
+        if truncated {
+            c.note_truncated();
+        }
+        c.note_quarantined(quarantines.len() as u64);
     }
     McRun {
         estimates,
         trials: done as u64,
         trace,
+        quarantines,
+        truncated,
     }
 }
 
@@ -245,34 +338,103 @@ pub fn adaptive_mean_with<F>(workers: usize, cfg: &McConfig, seed: u64, trial: F
 where
     F: Fn(u64) -> f64 + Sync,
 {
+    let ctl = checkpoint::current();
+    adaptive_mean_ctl(workers, cfg, seed, ctl.as_deref(), trial)
+}
+
+/// [`adaptive_mean_with`] against an explicit [`RunCtl`] — the
+/// continuous-metric sibling of [`adaptive_proportions_ctl`]. The journal
+/// stores every completed sample bit-exactly (f64 bit patterns), so a
+/// resumed run reproduces the same bootstrap intervals and stopping
+/// point. Quarantine and truncation are reported through the `RunCtl`.
+pub fn adaptive_mean_ctl<F>(
+    workers: usize,
+    cfg: &McConfig,
+    seed: u64,
+    ctl: Option<&RunCtl>,
+    trial: F,
+) -> Estimate
+where
+    F: Fn(u64) -> f64 + Sync,
+{
     let mut samples: Vec<f64> = Vec::new();
+    // Trial tasks completed: equals `samples.len()` on a healthy run, but
+    // quarantined trials consume their index without yielding a sample.
+    let mut done = 0usize;
+    let mut quarantines: Vec<Quarantine> = Vec::new();
+    let mut truncated = false;
     let alpha = 2.0 * (1.0 - normal_cdf(cfg.z));
-    loop {
-        let done = samples.len();
-        if done >= cfg.max_trials {
+    let interval = |samples: &[f64]| {
+        bootstrap_mean_interval(
+            samples,
+            cfg.bootstrap_resamples,
+            alpha,
+            trial_seed(seed ^ 0xB007_57AB, samples.len() as u64),
+        )
+    };
+
+    let journal_path = ctl.and_then(|c| c.claim_journal(seed, 1, "m"));
+    if let (Some(c), Some(path)) = (ctl, journal_path.as_ref()) {
+        if c.resuming() {
+            if let Some(j) = Journal::load(path) {
+                if let JournalKind::Mean(restored) = &j.kind {
+                    if j.matches(seed, &journal_cfg(cfg)) {
+                        samples = restored.clone();
+                        done = j.done as usize;
+                        quarantines = j.quarantines;
+                    }
+                }
+            }
+        }
+    }
+    // A resumed run first re-evaluates the crashed run's last stopping
+    // decision (same interval, same bootstrap seed), then continues on
+    // the original schedule.
+    let mut converged = done > 0 && samples.len() >= 2 && {
+        let (lo, hi) = interval(&samples);
+        (hi - lo) / 2.0 <= cfg.target_half_width
+    };
+    while !converged && done < cfg.max_trials {
+        if ctl.is_some_and(|c| c.deadline_expired()) {
+            truncated = true;
             break;
         }
         let batch = next_batch(cfg, done);
         let indices: Vec<u64> = (done as u64..(done + batch) as u64).collect();
-        samples.extend(parallel::parallel_map_with(workers, &indices, |_, &i| {
-            trial(trial_seed(seed, i))
-        }));
-        let (lo, hi) = bootstrap_mean_interval(
-            &samples,
-            cfg.bootstrap_resamples,
-            alpha,
-            trial_seed(seed ^ 0xB007_57AB, samples.len() as u64),
-        );
-        if samples.len() >= 2 && (hi - lo) / 2.0 <= cfg.target_half_width {
-            break;
+        let results = parallel::parallel_map_with(workers, &indices, |_, &i| {
+            let s = trial_seed(seed, i);
+            guarded_trial(i, s, || trial(s))
+        });
+        for result in results {
+            match result {
+                Ok(x) => samples.push(x),
+                Err(q) => quarantines.push(q),
+            }
+        }
+        done += batch;
+        let (lo, hi) = interval(&samples);
+        converged = samples.len() >= 2 && (hi - lo) / 2.0 <= cfg.target_half_width;
+        if let Some(path) = journal_path.as_ref() {
+            store_journal(
+                ctl,
+                path,
+                &Journal {
+                    master: seed,
+                    cfg: journal_cfg(cfg),
+                    done: done as u64,
+                    kind: JournalKind::Mean(samples.clone()),
+                    quarantines: quarantines.clone(),
+                },
+            );
         }
     }
-    let (lo, hi) = bootstrap_mean_interval(
-        &samples,
-        cfg.bootstrap_resamples,
-        alpha,
-        trial_seed(seed ^ 0xB007_57AB, samples.len() as u64),
-    );
+    if let Some(c) = ctl {
+        if truncated {
+            c.note_truncated();
+        }
+        c.note_quarantined(quarantines.len() as u64);
+    }
+    let (lo, hi) = interval(&samples);
     Estimate {
         mean: samples.iter().sum::<f64>() / samples.len().max(1) as f64,
         ci_lo: lo,
@@ -283,10 +445,100 @@ where
 
 /// The next round's size: the first round is `initial_trials`, then each
 /// round doubles the total so far, always clamped to the cap. Round
-/// boundaries are a pure function of `(cfg, trials done)` — no state.
+/// boundaries are a pure function of `(cfg, trials done)` — no state, so
+/// a run resumed from a journaled `done` count replays the exact schedule
+/// an uninterrupted run would have followed.
 fn next_batch(cfg: &McConfig, done: usize) -> usize {
     let want = if done == 0 { cfg.initial_trials } else { done };
     want.max(1).min(cfg.max_trials - done)
+}
+
+/// Recomputes the pooled Wilson estimates (shared by the round loop and
+/// the resume path, so both produce bit-identical values from the same
+/// counts).
+fn refresh_estimates<const K: usize>(
+    estimates: &mut [Estimate; K],
+    pooled: &[(u64, u64); K],
+    cfg: &McConfig,
+) {
+    for (est, &(s, t)) in estimates.iter_mut().zip(pooled.iter()) {
+        let (lo, hi) = wilson_interval(s.min(t), t, cfg.z);
+        *est = Estimate {
+            mean: if t > 0 { s as f64 / t as f64 } else { 0.5 },
+            ci_lo: lo,
+            ci_hi: hi,
+            n: t,
+        };
+    }
+}
+
+/// The stopping predicate: every tracked interval has data and meets the
+/// half-width target.
+fn converged(estimates: &[Estimate], cfg: &McConfig) -> bool {
+    estimates
+        .iter()
+        .all(|e| e.n > 0 && e.half_width() <= cfg.target_half_width)
+}
+
+/// The sizing fingerprint a journal stores so a resume under a different
+/// config is rejected instead of mis-scheduled.
+fn journal_cfg(cfg: &McConfig) -> JournalCfg {
+    JournalCfg {
+        initial_trials: cfg.initial_trials,
+        max_trials: cfg.max_trials,
+        target_half_width: cfg.target_half_width,
+        z: cfg.z,
+        bootstrap_resamples: cfg.bootstrap_resamples,
+    }
+}
+
+/// Runs one trial under `catch_unwind`: the injected-fault hook fires
+/// inside the guard, and a panic — organic or injected — becomes a
+/// [`Quarantine`] record instead of unwinding into the sweep runner.
+/// `AssertUnwindSafe` is sound here because a quarantined trial's partial
+/// state is dropped wholesale; nothing it touched is observed again.
+fn guarded_trial<T>(index: u64, seed: u64, run: impl FnOnce() -> T) -> Result<T, Quarantine> {
+    match catch_unwind(AssertUnwindSafe(|| {
+        checkpoint::inject_trial_panic(index);
+        run()
+    })) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(Quarantine {
+            index,
+            seed,
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Checkpoints one round's journal. A write failure warns once per run
+/// and the run continues without checkpoints — losing resumability must
+/// not fail an otherwise healthy evaluation. Successful writes feed the
+/// `crash_after_round` fault counter.
+fn store_journal(ctl: Option<&RunCtl>, path: &std::path::Path, journal: &Journal) {
+    match journal.store(path) {
+        Ok(()) => checkpoint::note_round_checkpointed(),
+        Err(e) => {
+            if let Some(c) = ctl {
+                c.warn_io_once(&format!(
+                    "warning: cannot write checkpoint journal {}: {e}; \
+                     continuing without checkpoints",
+                    path.display()
+                ));
+            }
+        }
+    }
 }
 
 /// Φ(z), the standard normal CDF (via `erf`-free Abramowitz–Stegun 7.1.26

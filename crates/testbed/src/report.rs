@@ -1,6 +1,7 @@
 //! Experiment result rendering: paper-style text tables, ASCII bar charts,
 //! and CSV export (hand-rolled — no serialization dependency needed).
 
+use crate::checkpoint::RunHealth;
 use crate::montecarlo::Estimate;
 use std::fmt::Write as _;
 
@@ -51,6 +52,12 @@ pub struct Artifact {
     pub series: Vec<Series>,
     /// Paper-vs-measured commentary.
     pub notes: Vec<String>,
+    /// Run health, set by the crash-safe driver path
+    /// (`registry::run_one_with`) when the run was degraded (quarantined
+    /// trials) or deadline-truncated. `None` — the overwhelmingly common
+    /// case — renders nothing, so healthy artifacts stay byte-identical
+    /// to pre-checkpoint output.
+    pub health: Option<RunHealth>,
 }
 
 impl Artifact {
@@ -61,6 +68,7 @@ impl Artifact {
             caption: caption.to_string(),
             series: Vec::new(),
             notes: Vec::new(),
+            health: None,
         }
     }
 
@@ -116,6 +124,11 @@ impl Artifact {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"id\": {},", json_string(&self.id));
         let _ = writeln!(out, "  \"caption\": {},", json_string(&self.caption));
+        if let Some(h) = self.health.filter(|h| h.flagged()) {
+            let _ = writeln!(out, "  \"degraded\": {},", h.degraded());
+            let _ = writeln!(out, "  \"quarantined\": {},", h.quarantined);
+            let _ = writeln!(out, "  \"truncated\": {},", h.truncated);
+        }
         out.push_str("  \"series\": [\n");
         for (si, s) in self.series.iter().enumerate() {
             let _ = write!(
@@ -163,6 +176,18 @@ impl Artifact {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "=== {} — {} ===", self.id, self.caption);
+        if let Some(h) = self.health.filter(|h| h.flagged()) {
+            if h.degraded() {
+                let _ = writeln!(
+                    out,
+                    "  !! degraded run: {} trial(s) quarantined after panicking",
+                    h.quarantined
+                );
+            }
+            if h.truncated {
+                let _ = writeln!(out, "  !! truncated run: deadline expired; partial data");
+            }
+        }
         for s in &self.series {
             let _ = writeln!(out, "\n  [{}]", s.label);
             match &s.ci {
@@ -406,6 +431,31 @@ mod tests {
         assert!(ascii_chart(&[], 20).contains("no data"));
         let flat = ascii_chart(&[(0.0, 5.0), (1.0, 5.0)], 20);
         assert_eq!(flat.lines().count(), 2);
+    }
+
+    #[test]
+    fn health_fields_render_only_when_flagged() {
+        let mut a = Artifact::new("Figure Z", "health test");
+        a.push_series(Series::new("s", vec![(0.0, 1.0)]));
+        // Healthy (None) and explicitly-clean health are byte-identical
+        // to pre-checkpoint output: no health keys at all.
+        let clean_json = a.to_json();
+        assert!(!clean_json.contains("degraded") && !clean_json.contains("truncated"));
+        let baseline = (a.to_json(), a.render());
+        a.health = Some(RunHealth::default());
+        assert_eq!((a.to_json(), a.render()), baseline);
+        // Flagged health surfaces in JSON and the rendered text.
+        a.health = Some(RunHealth {
+            quarantined: 3,
+            truncated: true,
+        });
+        let json = a.to_json();
+        assert!(json.contains("\"degraded\": true"));
+        assert!(json.contains("\"quarantined\": 3"));
+        assert!(json.contains("\"truncated\": true"));
+        let text = a.render();
+        assert!(text.contains("3 trial(s) quarantined"));
+        assert!(text.contains("truncated run"));
     }
 
     #[test]

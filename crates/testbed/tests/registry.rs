@@ -29,6 +29,7 @@ const EXPECTED: &[&str] = &[
     "battery",
     "ward-multi-imd",
     "mobile-adversary",
+    "crosstraffic",
 ];
 
 fn is_kebab_case(s: &str) -> bool {

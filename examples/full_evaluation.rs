@@ -11,10 +11,12 @@
 //!   `cargo run --release --example full_evaluation`            (quick)
 //!   `cargo run --release --example full_evaluation -- --full`  (paper-scale)
 
+use heartbeats::testbed::checkpoint::atomic_write;
 use heartbeats::testbed::experiments::registry::{self, EvalCtx};
 use heartbeats::testbed::experiments::Effort;
 use heartbeats::testbed::report::Artifact;
 use std::fs;
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
@@ -42,8 +44,18 @@ fn main() {
             exp.name(),
             t.elapsed().as_secs_f64()
         );
-        fs::write(format!("results/{stem}.csv"), artifact.to_csv()).expect("write csv");
-        fs::write(format!("results/{stem}.json"), artifact.to_json()).expect("write json");
+        // Atomic writes (.tmp + fsync + rename): a crash mid-run leaves
+        // each artifact either complete or absent, never torn.
+        atomic_write(
+            Path::new(&format!("results/{stem}.csv")),
+            artifact.to_csv().as_bytes(),
+        )
+        .expect("write csv");
+        atomic_write(
+            Path::new(&format!("results/{stem}.json")),
+            artifact.to_json().as_bytes(),
+        )
+        .expect("write json");
         artifacts.push(artifact);
     }
 
@@ -52,7 +64,7 @@ fn main() {
         report.push_str(&a.render());
         report.push('\n');
     }
-    fs::write("results/evaluation.txt", &report).expect("write report");
+    atomic_write(Path::new("results/evaluation.txt"), report.as_bytes()).expect("write report");
     println!("\n{report}");
     println!(
         "total {:.1}s; reports in results/evaluation.txt, results/*.csv, results/*.json",
