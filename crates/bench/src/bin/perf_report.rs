@@ -16,8 +16,10 @@
 //! runs, so the checked-in `results/BENCH_*.json` files are produced on a
 //! quiet machine via `scripts/bench.sh`.
 
+use hb_channel::fading::Fading;
 use hb_channel::geometry::Placement;
 use hb_channel::medium::{Medium, MediumConfig};
+use hb_channel::pathloss::PathlossModel;
 use hb_dsp::complex::C64;
 use hb_imd::commands::Command;
 use hb_phy::bits::Prbs;
@@ -37,11 +39,25 @@ struct Timing {
     seconds: f64,
     /// What one iteration of the kernel covers (for human readers).
     unit: &'static str,
+    /// Samples processed per iteration, when the kernel has a meaningful
+    /// per-sample cost (the `medium_block_*` family: antennas ×
+    /// block_len received samples per block).
+    samples: Option<u64>,
 }
 
 impl Timing {
     fn per_iter_us(&self) -> f64 {
         self.seconds / self.iters as f64 * 1e6
+    }
+
+    fn per_sample_ns(&self) -> Option<f64> {
+        self.samples
+            .map(|s| self.seconds / self.iters as f64 / s as f64 * 1e9)
+    }
+
+    fn with_samples(mut self, samples: u64) -> Self {
+        self.samples = Some(samples);
+        self
     }
 }
 
@@ -57,6 +73,7 @@ fn time_kernel<F: FnMut()>(name: &'static str, unit: &'static str, iters: u64, m
         iters,
         seconds: start.elapsed().as_secs_f64(),
         unit,
+        samples: None,
     }
 }
 
@@ -80,8 +97,10 @@ fn bench_medium(n: usize, n_tx: usize, blocks: u64) -> Timing {
     let name = match n {
         3 => "medium_block_3ant",
         8 => "medium_block_8ant",
-        _ => "medium_block_16ant",
+        16 => "medium_block_16ant",
+        _ => panic!("no tracked name for a {n}-antenna dense medium"),
     };
+    let samples = (n * m.config().block_len) as u64;
     time_kernel(
         name,
         "1 block: stage txs + receive at every antenna + end_block",
@@ -97,6 +116,57 @@ fn bench_medium(n: usize, n_tx: usize, blocks: u64) -> Timing {
             m.end_block();
         },
     )
+    .with_samples(samples)
+}
+
+/// A ward-scale culled medium: `n` antennas along a hospital corridor
+/// (2 m pitch), links drawn from the indoor MICS pathloss model, and a
+/// finite cull margin. Every 8th antenna is an implanted transmitter
+/// (`n_tx` of them stage each block); the +40 dB per in-body endpoint
+/// means each receiver only hears the staged implants within ~28 m, so
+/// the audible degree per receiver stays bounded as `n` grows — this is
+/// the scaling regime the sparse engine exists for, and what keeps the
+/// 128-antenna per-sample cost within the 16-antenna dense bench's
+/// envelope.
+fn bench_medium_ward(n: usize, blocks: u64) -> Timing {
+    let n_tx = n / 8;
+    let mut m = Medium::new(
+        MediumConfig {
+            cull_margin_db: 12.0,
+            ..MediumConfig::default()
+        },
+        42,
+    );
+    for i in 0..n {
+        let p = Placement::los("ward", i as f64 * 2.0, 0.0);
+        m.add_antenna(if i % 8 == 0 { p.implanted() } else { p });
+    }
+    m.build_links(&PathlossModel::mics_indoor(), Fading::None);
+    let burst: Vec<C64> = (0..m.config().block_len)
+        .map(|i| C64::cis(i as f64 * 0.3))
+        .collect();
+    let name = match n {
+        64 => "medium_block_64ant",
+        128 => "medium_block_128ant",
+        _ => panic!("no tracked name for a {n}-antenna ward medium"),
+    };
+    let samples = (n * m.config().block_len) as u64;
+    time_kernel(
+        name,
+        "1 block on the culled ward corridor: stage implants + receive everywhere + end_block",
+        blocks,
+        move || {
+            for k in 0..n_tx {
+                m.transmit(k * 8, 0, &burst);
+            }
+            for rx in 0..n {
+                let y = m.receive(rx, 0);
+                std::hint::black_box(y.last().copied());
+            }
+            m.end_block();
+        },
+    )
+    .with_samples(samples)
 }
 
 /// The repeat-receive (cache-hit) path: the shield, IMD and eavesdropper
@@ -141,6 +211,8 @@ fn main() {
         bench_medium(3, 2, 2_000 * scale),
         bench_medium(8, 3, 800 * scale),
         bench_medium(16, 4, 300 * scale),
+        bench_medium_ward(64, 120 * scale),
+        bench_medium_ward(128, 60 * scale),
         bench_medium_repeat(2_000 * scale),
     ];
 
@@ -370,12 +442,17 @@ fn main() {
     ));
     json.push_str("  \"kernels\": [\n");
     for (i, t) in timings.iter().enumerate() {
+        let per_sample = t
+            .per_sample_ns()
+            .map(|ns| format!("\"per_sample_ns\": {ns:.3}, "))
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"iters\": {}, \"total_s\": {:.6}, \"per_iter_us\": {:.3}, \"unit\": \"{}\"}}{}\n",
+            "    {{\"name\": \"{}\", \"iters\": {}, \"total_s\": {:.6}, \"per_iter_us\": {:.3}, {}\"unit\": \"{}\"}}{}\n",
             t.name,
             t.iters,
             t.seconds,
             t.per_iter_us(),
+            per_sample,
             t.unit,
             if i + 1 < timings.len() { "," } else { "" }
         ));

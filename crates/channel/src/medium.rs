@@ -24,6 +24,26 @@
 //! The 3 MHz MICS band is modeled as `n_channels` independent 300 kHz
 //! channels — the per-channel-filter front end of §7(c). A transmission is
 //! tagged with its channel; receivers subscribe per channel.
+//!
+//! # Sparse propagation (pathloss culling)
+//!
+//! The gain matrix stays dense, but the *work* is sparse: each receiver
+//! keeps an audibility row (its neighbor list) and a pair is skipped
+//! whenever its gain power lands below the receiver's noise floor times
+//! the configured [`MediumConfig::cull_margin_db`]. A culled pair's
+//! contribution is below the floor *by construction* (for a 0 dBm-or-
+//! quieter transmitter; pick the margin from the loudest transmitter in
+//! the scenario), so hospital-floor scenarios with 100+ devices pay per
+//! audible pair, not per antenna pair. A transmitter audible at no
+//! receiver is not even staged.
+//!
+//! **Cull invariant**: at the default margin of `−∞` the threshold is
+//! exactly zero, nothing is ever culled, and the engine is bit-for-bit
+//! the dense engine — the golden suite pins this. Audibility rows are
+//! maintained incrementally: setting one gain updates one entry; moving
+//! one antenna ([`Medium::move_antenna`]) re-draws and re-checks only the
+//! pairs touching that antenna (its own row plus one entry per other
+//! row), never the full matrix.
 
 use crate::fading::Fading;
 use crate::geometry::Placement;
@@ -52,6 +72,15 @@ pub struct MediumConfig {
     /// Default receiver noise floor, dBm (thermal + noise figure over one
     /// channel bandwidth). Per-antenna overrides available.
     pub noise_floor_dbm: f64,
+    /// Pathloss-culling margin, dB. A (tx, rx) pair is *culled* — skipped
+    /// by staging and the receive mixture — when its gain power satisfies
+    /// `|H|² < noise_floor(rx) · 10^(margin/10)`: the pair would deliver a
+    /// 0 dBm transmission at `margin` dB below the receiver's own noise
+    /// floor. Choose `margin ≤ −(loudest tx power in dBm)` and every
+    /// culled contribution is guaranteed sub-floor. The default `−∞`
+    /// makes the threshold exactly zero: nothing is culled and the engine
+    /// is bit-for-bit the dense engine.
+    pub cull_margin_db: f64,
 }
 
 impl Default for MediumConfig {
@@ -64,6 +93,8 @@ impl Default for MediumConfig {
             // Thermal floor of a 300 kHz channel (-119 dBm) plus a 7 dB
             // receiver noise figure.
             noise_floor_dbm: -112.0,
+            // Dense by default: culling is opt-in per scenario.
+            cull_margin_db: f64::NEG_INFINITY,
         }
     }
 }
@@ -84,13 +115,48 @@ struct RxSlot {
     valid: bool,
 }
 
+/// Provenance of one directed gain entry: who wrote it decides whether
+/// [`Medium::build_links`] may draw it and [`Medium::move_antenna`] may
+/// re-draw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GainState {
+    /// Never written; zero gain. `build_links` will draw it.
+    Unset,
+    /// Drawn from the pathloss/fading models; `move_antenna` re-draws it
+    /// when either endpoint moves.
+    Drawn,
+    /// Set explicitly ([`Medium::set_gain`]) — a wired coupling like the
+    /// shield's self-loop. Preserved by `build_links` and `move_antenna`.
+    Explicit,
+}
+
+/// Audibility bookkeeping counters — how much cull state was recomputed.
+/// The mobility tests pin the invalidation scope with these: moving one
+/// antenna must cost O(n) pair updates and no full-row rebuilds, while a
+/// noise-floor change rebuilds exactly the affected receiver's row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CullStats {
+    /// Full per-receiver audibility-row recomputations (noise-floor
+    /// changes, antenna registration).
+    pub rows_rebuilt: u64,
+    /// Single-pair audibility updates (gain writes: `set_gain`,
+    /// `build_links`, `move_antenna`).
+    pub pair_updates: u64,
+    /// Currently audible (tx, rx) pairs.
+    pub audible_pairs: usize,
+    /// All (tx, rx) pairs (`n²`).
+    pub total_pairs: usize,
+}
+
 /// The shared medium. See the module docs for the model.
 ///
 /// Steady-state performance: all per-block state (staged transmissions,
 /// receive caches, scratch buffers) lives in pools that are recycled by
-/// [`Medium::end_block`], the link gains are a dense `n×n` matrix, and the
-/// borrowing receive path ([`Medium::receive_view`]) returns cache views —
-/// a block step performs **zero heap allocations** once the pools are warm.
+/// [`Medium::end_block`], the link gains are a dense `n×n` matrix with
+/// per-receiver audibility rows on top (see the module docs on pathloss
+/// culling), and the borrowing receive path ([`Medium::receive_view`])
+/// returns cache views — a block step performs **zero heap allocations**
+/// once the pools are warm.
 pub struct Medium {
     cfg: MediumConfig,
     placements: Vec<Placement>,
@@ -108,9 +174,26 @@ pub struct Medium {
     /// gain from `tx`'s transmitter to `rx`'s receiver. Reciprocal by
     /// construction unless overridden.
     gains: Vec<C64>,
-    /// Whether `gains[i]` was explicitly set or drawn (an explicit zero is
-    /// remembered so [`Medium::build_links`] won't redraw it).
-    gain_set: Vec<bool>,
+    /// Provenance of `gains[i]` (an explicit zero is remembered so
+    /// [`Medium::build_links`] won't redraw it; only drawn gains are
+    /// re-drawn by [`Medium::move_antenna`]).
+    gain_state: Vec<GainState>,
+    /// Per-receiver neighbor rows, rx-major: `audible[rx * n + tx]` is
+    /// true iff the pair clears `rx`'s cull threshold. All-true at the
+    /// default `−∞` margin. Maintained incrementally by every gain write.
+    audible: Vec<bool>,
+    /// Per-transmitter count of receivers that can hear it; staging skips
+    /// a transmitter nobody can hear (only possible at a finite margin).
+    tx_audible: Vec<u32>,
+    /// Per-receiver cull threshold, linear power:
+    /// `noise_floor[rx] · 10^(cull_margin_db/10)` (zero at `−∞`).
+    cull_threshold: Vec<f64>,
+    /// Linear cull ratio `10^(cull_margin_db/10)`, precomputed.
+    cull_ratio: f64,
+    /// Stats: full audibility-row recomputations.
+    cull_rows_rebuilt: u64,
+    /// Stats: single-pair audibility updates.
+    cull_pair_updates: u64,
     block_index: u64,
     /// Staging pool; the first `staged_len` entries are this block's.
     staged: Vec<StagedTx>,
@@ -148,7 +231,13 @@ impl Medium {
             any_cfo: false,
             impulse: None,
             gains: Vec::new(),
-            gain_set: Vec::new(),
+            gain_state: Vec::new(),
+            audible: Vec::new(),
+            tx_audible: Vec::new(),
+            cull_threshold: Vec::new(),
+            cull_ratio: ratio_from_db(cfg.cull_margin_db),
+            cull_rows_rebuilt: 0,
+            cull_pair_updates: 0,
             block_index: 0,
             staged: Vec::new(),
             staged_len: 0,
@@ -171,25 +260,81 @@ impl Medium {
     /// Registers an antenna at a placement; returns its id.
     pub fn add_antenna(&mut self, placement: Placement) -> AntennaId {
         self.placements.push(placement);
-        self.noise_floor
-            .push(ratio_from_db(self.cfg.noise_floor_dbm));
+        let floor = ratio_from_db(self.cfg.noise_floor_dbm);
+        self.noise_floor.push(floor);
+        self.cull_threshold.push(floor * self.cull_ratio);
         self.cfo_hz.push(0.0);
+        self.tx_audible.push(0);
         let n = self.placements.len();
-        // Re-stride the dense gain matrix from (n-1)² to n².
+        // Re-stride the dense matrices from (n-1)² to n². `gains` is
+        // tx-major, `audible` is rx-major (each receiver's neighbor row
+        // is contiguous).
         let mut gains = vec![C64::ZERO; n * n];
-        let mut gain_set = vec![false; n * n];
+        let mut gain_state = vec![GainState::Unset; n * n];
+        let mut audible = vec![false; n * n];
         for a in 0..n - 1 {
             for b in 0..n - 1 {
                 gains[a * n + b] = self.gains[a * (n - 1) + b];
-                gain_set[a * n + b] = self.gain_set[a * (n - 1) + b];
+                gain_state[a * n + b] = self.gain_state[a * (n - 1) + b];
+                audible[a * n + b] = self.audible[a * (n - 1) + b];
             }
         }
         self.gains = gains;
-        self.gain_set = gain_set;
+        self.gain_state = gain_state;
+        self.audible = audible;
+        // The new pairs (all-zero gains): the new receiver's row, plus the
+        // new transmitter's entry in every existing row.
+        self.rebuild_audible_row(n - 1);
+        for rx in 0..n - 1 {
+            self.update_membership(n - 1, rx);
+        }
         for _ in 0..self.cfg.n_channels {
             self.rx_slots.push(RxSlot::default());
         }
         n - 1
+    }
+
+    /// Recomputes one pair's audibility from its gain and the receiver's
+    /// cull threshold, keeping the per-transmitter counts consistent.
+    fn update_membership(&mut self, tx: AntennaId, rx: AntennaId) {
+        let n = self.placements.len();
+        let aud = self.gains[tx * n + rx].norm_sq() >= self.cull_threshold[rx];
+        let slot = &mut self.audible[rx * n + tx];
+        if *slot != aud {
+            *slot = aud;
+            if aud {
+                self.tx_audible[tx] += 1;
+            } else {
+                self.tx_audible[tx] -= 1;
+            }
+        }
+    }
+
+    /// Recomputes a receiver's whole audibility row (noise-floor change,
+    /// antenna registration).
+    fn rebuild_audible_row(&mut self, rx: AntennaId) {
+        for tx in 0..self.placements.len() {
+            self.update_membership(tx, rx);
+        }
+        self.cull_rows_rebuilt += 1;
+    }
+
+    /// Audibility bookkeeping counters and the current audible-pair count.
+    pub fn cull_stats(&self) -> CullStats {
+        CullStats {
+            rows_rebuilt: self.cull_rows_rebuilt,
+            pair_updates: self.cull_pair_updates,
+            audible_pairs: self.audible.iter().filter(|&&a| a).count(),
+            total_pairs: self.audible.len(),
+        }
+    }
+
+    /// Whether the (tx, rx) pair clears `rx`'s cull threshold (always
+    /// true at the default `−∞` margin).
+    pub fn pair_audible(&self, tx: AntennaId, rx: AntennaId) -> bool {
+        let n = self.placements.len();
+        assert!(tx < n && rx < n, "unknown antenna pair ({tx}, {rx})");
+        self.audible[rx * n + tx]
     }
 
     /// Sets an antenna's oscillator offset, Hz. Its transmissions rotate
@@ -224,9 +369,12 @@ impl Medium {
         &self.placements[a]
     }
 
-    /// Overrides an antenna's noise floor in dBm.
+    /// Overrides an antenna's noise floor in dBm. Rebuilds that
+    /// receiver's audibility row (its cull threshold moved).
     pub fn set_noise_floor_dbm(&mut self, a: AntennaId, dbm: f64) {
         self.noise_floor[a] = ratio_from_db(dbm);
+        self.cull_threshold[a] = self.noise_floor[a] * self.cull_ratio;
+        self.rebuild_audible_row(a);
     }
 
     /// Computes link gains for every antenna pair from a pathloss model and
@@ -242,20 +390,40 @@ impl Medium {
         let n = self.placements.len();
         for a in 0..n {
             for b in (a + 1)..n {
-                if self.gain_set[a * n + b] || self.gain_set[b * n + a] {
+                if self.gain_state[a * n + b] != GainState::Unset
+                    || self.gain_state[b * n + a] != GainState::Unset
+                {
                     continue;
                 }
-                let loss_db = model.link_loss_db_shadowed(
-                    &self.placements[a],
-                    &self.placements[b],
-                    &mut self.rng,
-                );
-                let amplitude = ratio_from_db(-loss_db).sqrt();
-                let gain = fading.draw(&mut self.rng).scale(amplitude);
-                self.set_gain(a, b, gain);
-                self.set_gain(b, a, gain);
+                let gain = self.draw_link(model, fading, a, b);
+                self.write_gain(a, b, gain, GainState::Drawn);
+                self.write_gain(b, a, gain, GainState::Drawn);
             }
         }
+    }
+
+    /// Draws one shadowed, faded link gain between two placements.
+    fn draw_link(
+        &mut self,
+        model: &PathlossModel,
+        fading: Fading,
+        a: AntennaId,
+        b: AntennaId,
+    ) -> C64 {
+        let loss_db =
+            model.link_loss_db_shadowed(&self.placements[a], &self.placements[b], &mut self.rng);
+        let amplitude = ratio_from_db(-loss_db).sqrt();
+        fading.draw(&mut self.rng).scale(amplitude)
+    }
+
+    /// Writes one directed gain with its provenance and updates the pair's
+    /// audibility.
+    fn write_gain(&mut self, tx: AntennaId, rx: AntennaId, gain: C64, state: GainState) {
+        let n = self.placements.len();
+        self.gains[tx * n + rx] = gain;
+        self.gain_state[tx * n + rx] = state;
+        self.update_membership(tx, rx);
+        self.cull_pair_updates += 1;
     }
 
     /// Sets a directed link gain explicitly (used for the shield's wired
@@ -263,8 +431,45 @@ impl Medium {
     pub fn set_gain(&mut self, tx: AntennaId, rx: AntennaId, gain: C64) {
         let n = self.placements.len();
         assert!(tx < n && rx < n, "unknown antenna pair ({tx}, {rx})");
-        self.gains[tx * n + rx] = gain;
-        self.gain_set[tx * n + rx] = true;
+        self.write_gain(tx, rx, gain, GainState::Explicit);
+    }
+
+    /// Moves an antenna to a new placement and re-draws the *drawn* link
+    /// gains touching it from the pathloss/fading models (fresh shadowing,
+    /// reciprocal, in deterministic id order). Explicit wired couplings
+    /// are preserved; pairs `build_links` never drew stay absent.
+    ///
+    /// Invalidation is row-scoped: only the moved antenna's own audibility
+    /// row and its single entry in every other receiver's row are
+    /// re-checked — O(n) pair updates, no full-matrix rebuild (pinned by
+    /// [`Medium::cull_stats`]-based tests).
+    pub fn move_antenna(
+        &mut self,
+        a: AntennaId,
+        placement: Placement,
+        model: &PathlossModel,
+        fading: Fading,
+    ) {
+        let n = self.placements.len();
+        assert!(a < n, "unknown antenna {a}");
+        self.placements[a] = placement;
+        for b in 0..n {
+            if b == a {
+                continue;
+            }
+            let ab = self.gain_state[a * n + b] == GainState::Drawn;
+            let ba = self.gain_state[b * n + a] == GainState::Drawn;
+            if !(ab || ba) {
+                continue;
+            }
+            let gain = self.draw_link(model, fading, a, b);
+            if ab {
+                self.write_gain(a, b, gain, GainState::Drawn);
+            }
+            if ba {
+                self.write_gain(b, a, gain, GainState::Drawn);
+            }
+        }
     }
 
     /// The current gain from `tx` to `rx` (zero if no link).
@@ -318,6 +523,14 @@ impl Medium {
             self.cfg.block_len
         );
         assert!(tx < self.placements.len(), "unknown antenna {tx}");
+        // Sparse fast path: a transmitter audible at no receiver cannot
+        // contribute to any mixture — skip the staging copy entirely.
+        // Impossible at the default −∞ margin (every pair is audible,
+        // including zero-gain ones), so the dense observer semantics of
+        // `channel_active`/`staged_power` are unchanged there.
+        if self.tx_audible[tx] == 0 {
+            return;
+        }
         let idx = self.staged_len;
         if idx == self.staged.len() {
             self.staged.push(StagedTx {
@@ -379,8 +592,15 @@ impl Medium {
             }
         }
         let block_start = self.block_index * block_len as u64;
+        let audible = &self.audible[rx * n..(rx + 1) * n];
         for &staged_idx in &self.staged_by_channel[channel] {
             let tx = &self.staged[staged_idx as usize];
+            // Sparse skip: the pair is below the receiver's cull
+            // threshold (never taken at the −∞ margin, where the
+            // audibility row is all-true).
+            if !audible[tx.tx] {
+                continue;
+            }
             let g = self.gains[tx.tx * n + rx];
             if g == C64::ZERO {
                 continue;
@@ -392,9 +612,7 @@ impl Medium {
                 0.0
             };
             if dcfo == 0.0 {
-                for (v, &s) in buf.iter_mut().zip(tx.samples.iter()) {
-                    *v += s * g;
-                }
+                mac_scaled(buf, &tx.samples, g);
             } else {
                 // Per-block rotator phasors, shared by every link with the
                 // same relative offset. Filled by a phase-recurrence
@@ -423,9 +641,7 @@ impl Medium {
                     }
                 };
                 let phasors = &self.cfo_phasors[pos].1;
-                for ((v, &s), &r) in buf.iter_mut().zip(tx.samples.iter()).zip(phasors.iter()) {
-                    *v += s * g * r;
-                }
+                mac_scaled_rotated(buf, &tx.samples, phasors, g);
             }
         }
         slot.valid = true;
@@ -435,13 +651,15 @@ impl Medium {
 
     /// True if any transmission is staged on `channel` this block
     /// (omniscient view — used by tests and by the observer harness, not by
-    /// in-world devices).
+    /// in-world devices). At a finite cull margin, transmitters audible at
+    /// no receiver are never staged and so don't count.
     pub fn channel_active(&self, channel: usize) -> bool {
         !self.staged_by_channel[channel].is_empty()
     }
 
     /// Total staged transmit power on a channel this block (omniscient
-    /// debugging/observer view).
+    /// debugging/observer view). Like [`Medium::channel_active`], excludes
+    /// transmitters culled everywhere.
     pub fn staged_power(&self, channel: usize) -> f64 {
         self.staged_by_channel[channel]
             .iter()
@@ -470,6 +688,29 @@ impl Medium {
     /// derive seeds deterministically from the scenario seed).
     pub fn fork_rng(&mut self) -> StdRng {
         StdRng::seed_from_u64(self.rng.gen())
+    }
+}
+
+/// Accumulates one surviving pair into the mixture: `dst[i] += src[i]·g`.
+///
+/// Standalone and `#[inline(never)]` on purpose (the PR-5 correlator
+/// idiom): with `&mut`/`&` slice parameters the optimizer knows `dst`
+/// and `src` cannot alias and keeps the accumulation in registers;
+/// inlined into the `&mut self` receive path it would re-derive both
+/// from `self` and emit per-iteration alias checks instead. Identical
+/// arithmetic and order to the historical in-place loop — bit-exact.
+#[inline(never)]
+fn mac_scaled(dst: &mut [C64], src: &[C64], g: C64) {
+    for (v, &s) in dst.iter_mut().zip(src.iter()) {
+        *v += s * g;
+    }
+}
+
+/// [`mac_scaled`] with a per-sample CFO rotation: `dst[i] += src[i]·g·r[i]`.
+#[inline(never)]
+fn mac_scaled_rotated(dst: &mut [C64], src: &[C64], rot: &[C64], g: C64) {
+    for ((v, &s), &r) in dst.iter_mut().zip(src.iter()).zip(rot.iter()) {
+        *v += s * g * r;
     }
 }
 
@@ -753,5 +994,151 @@ mod tests {
         assert!(m.channel_active(0));
         assert!(!m.channel_active(1));
         assert!((m.staged_power(0) - 1.0).abs() < 1e-12);
+    }
+
+    /// Noise floor −100 dBm, cull margin 0 dB: pairs below −100 dB of
+    /// gain power are culled.
+    fn culling_medium() -> Medium {
+        let cfg = MediumConfig {
+            noise_floor_dbm: -100.0,
+            cull_margin_db: 0.0,
+            ..MediumConfig::default()
+        };
+        Medium::new(cfg, 7)
+    }
+
+    #[test]
+    fn finite_margin_culls_sub_floor_pairs() {
+        let mut m = culling_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        let c = m.add_antenna(Placement::los("c", 2.0, 0.0));
+        // a→b comfortably above the threshold; a→c 10 dB below it.
+        m.set_gain(a, b, C64::new(ratio_from_db(-40.0).sqrt(), 0.0));
+        m.set_gain(a, c, C64::new(ratio_from_db(-110.0).sqrt(), 0.0));
+        assert!(m.pair_audible(a, b));
+        assert!(!m.pair_audible(a, c));
+        // The culled pair contributes nothing: c hears only its own noise.
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+        let quiet: Vec<C64> = {
+            // A twin medium with no staged tx, same seed: identical noise.
+            let mut t = culling_medium();
+            t.add_antenna(Placement::los("a", 0.0, 0.0));
+            t.add_antenna(Placement::los("b", 1.0, 0.0));
+            let c2 = t.add_antenna(Placement::los("c", 2.0, 0.0));
+            t.receive(c2, 0)
+        };
+        let y = m.receive(c, 0);
+        assert_eq!(y, quiet, "culled pair must add nothing to the mixture");
+    }
+
+    #[test]
+    fn inaudible_everywhere_is_not_staged() {
+        let mut m = culling_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        // No gains at all: with a finite margin every zero-gain pair is
+        // culled, so `a` is audible nowhere and staging skips it.
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+        assert!(!m.channel_active(0), "culled-everywhere tx must not stage");
+        assert_eq!(m.staged_power(0), 0.0);
+        // Give it one audible listener and it stages again.
+        m.end_block();
+        m.set_gain(a, b, C64::ONE);
+        m.transmit(a, 0, &vec![C64::ONE; 16]);
+        assert!(m.channel_active(0));
+        assert!((m.staged_power(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neg_inf_margin_keeps_zero_gain_pairs_audible() {
+        // The dense invariant: at −∞ the threshold is exactly zero, so
+        // even an unlinked pair is "audible" and observer semantics match
+        // the dense engine (`observer_helpers` relies on this).
+        let mut m = quiet_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        assert!(m.pair_audible(a, b));
+        assert!(m.pair_audible(a, a));
+        let stats = m.cull_stats();
+        assert_eq!(stats.audible_pairs, stats.total_pairs);
+    }
+
+    #[test]
+    fn noise_floor_change_rebuilds_that_row() {
+        let mut m = culling_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        // −95 dB of gain power: audible at a −100 dBm floor (margin 0)…
+        m.set_gain(a, b, C64::new(ratio_from_db(-95.0).sqrt(), 0.0));
+        assert!(m.pair_audible(a, b));
+        // …culled once b's floor is raised to −90 dBm.
+        let rows_before = m.cull_stats().rows_rebuilt;
+        m.set_noise_floor_dbm(b, -90.0);
+        assert!(!m.pair_audible(a, b));
+        assert_eq!(m.cull_stats().rows_rebuilt, rows_before + 1);
+    }
+
+    #[test]
+    fn move_antenna_redraws_drawn_and_preserves_explicit() {
+        let mut m = culling_medium();
+        let a = m.add_antenna(Placement::los("a", 0.0, 0.0));
+        let b = m.add_antenna(Placement::los("b", 1.0, 0.0));
+        let c = m.add_antenna(Placement::los("c", 2.0, 0.0));
+        let wired = C64::new(0.9, 0.0);
+        m.set_gain(a, b, wired);
+        m.set_gain(b, a, wired);
+        m.build_links(&PathlossModel::mics_indoor(), Fading::None);
+        let g_ac = m.gain(a, c);
+        let g_bc = m.gain(b, c);
+        assert_ne!(g_ac, C64::ZERO);
+        // Move a: its drawn links (a↔c) redraw, its explicit links (a↔b)
+        // and untouched links (b↔c) are preserved.
+        m.move_antenna(
+            a,
+            Placement::los("a", 5.0, 0.0),
+            &PathlossModel::mics_indoor(),
+            Fading::None,
+        );
+        assert_eq!(m.gain(a, b), wired);
+        assert_eq!(m.gain(b, a), wired);
+        assert_eq!(m.gain(b, c), g_bc);
+        assert_ne!(m.gain(a, c), g_ac, "drawn link must redraw on move");
+        assert_eq!(m.gain(a, c), m.gain(c, a), "redraw stays reciprocal");
+    }
+
+    #[test]
+    fn move_antenna_invalidation_is_row_scoped() {
+        let mut m = culling_medium();
+        for i in 0..8 {
+            m.add_antenna(Placement::los("x", i as f64, 0.0));
+        }
+        m.build_links(&PathlossModel::mics_indoor(), Fading::None);
+        let before = m.cull_stats();
+        m.move_antenna(
+            3,
+            Placement::los("x", 3.0, 4.0),
+            &PathlossModel::mics_indoor(),
+            Fading::None,
+        );
+        let after = m.cull_stats();
+        let n = m.antenna_count() as u64;
+        assert_eq!(
+            after.rows_rebuilt, before.rows_rebuilt,
+            "a move must not trigger full row rebuilds"
+        );
+        assert!(
+            after.pair_updates - before.pair_updates <= 2 * (n - 1),
+            "a move must touch at most the moved antenna's row and column: {} updates",
+            after.pair_updates - before.pair_updates
+        );
+        // Audibility stays semantically consistent after the incremental
+        // update: every pair's flag matches a from-scratch evaluation.
+        for tx in 0..m.antenna_count() {
+            for rx in 0..m.antenna_count() {
+                let expect = m.gain(tx, rx).norm_sq() >= ratio_from_db(-100.0);
+                assert_eq!(m.pair_audible(tx, rx), expect, "pair ({tx}, {rx})");
+            }
+        }
     }
 }

@@ -122,4 +122,162 @@ proptest! {
         let total: f64 = ch.taps.iter().map(|t| t.norm_sq()).sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
     }
+
+    /// At a cull margin of −∞ the sparse engine IS the dense engine: with
+    /// noise disabled, the received block is bit-identical to the dense
+    /// reference sum Σ_tx g(tx,rx)·s_tx accumulated in staging order.
+    #[test]
+    fn neg_inf_margin_is_bitwise_dense(
+        n in 2usize..6,
+        seed in any::<u64>(),
+        gains_db in prop::collection::vec(-120.0f64..-10.0, 25),
+        amps in prop::collection::vec(0.05f64..2.0, 5),
+    ) {
+        let cfg = MediumConfig {
+            noise_floor_dbm: f64::NEG_INFINITY,
+            ..Default::default()
+        };
+        prop_assert!(cfg.cull_margin_db == f64::NEG_INFINITY);
+        let mut m = Medium::new(cfg, seed);
+        for i in 0..n {
+            m.add_antenna(Placement::los("ant", i as f64, 0.0));
+        }
+        let mut k = 0;
+        for tx in 0..n {
+            for rx in 0..n {
+                if tx != rx {
+                    let amp = hb_dsp::units::amplitude_from_db(gains_db[k]);
+                    m.set_gain(tx, rx, C64::from_polar(amp, 0.1 * k as f64));
+                    k += 1;
+                }
+            }
+        }
+        let waves: Vec<Vec<C64>> = (0..n)
+            .map(|tx| (0..16).map(|i| C64::new(amps[tx % amps.len()], 0.01 * i as f64)).collect())
+            .collect();
+        for (tx, wave) in waves.iter().enumerate() {
+            m.transmit(tx, 0, wave);
+        }
+        for rx in 0..n {
+            let got = m.receive(rx, 0);
+            // Dense reference: same staging order, same per-sample MAC
+            // expression, starting from an all-zero (noiseless) buffer.
+            let mut want = vec![C64::ZERO; 16];
+            for (tx, wave) in waves.iter().enumerate() {
+                let g = m.gain(tx, rx);
+                if g == C64::ZERO {
+                    continue;
+                }
+                for (v, &s) in want.iter_mut().zip(wave) {
+                    *v += s * g;
+                }
+            }
+            for (a, b) in got.iter().zip(&want) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    /// Sparse-with-margin receive differs from the −∞ (dense) twin by at
+    /// most the guaranteed sub-noise-floor bound: each culled staged pair
+    /// contributes less than √(floor·10^(margin/10))·max|s| per sample.
+    #[test]
+    fn finite_margin_error_is_sub_floor_bounded(
+        n in 2usize..6,
+        seed in any::<u64>(),
+        margin_db in -20.0f64..20.0,
+        gains_db in prop::collection::vec(-160.0f64..-20.0, 25),
+        amps in prop::collection::vec(0.05f64..1.0, 5),
+    ) {
+        let floor_dbm = -100.0;
+        let dense_cfg = MediumConfig { noise_floor_dbm: floor_dbm, ..Default::default() };
+        let sparse_cfg = MediumConfig {
+            noise_floor_dbm: floor_dbm,
+            cull_margin_db: margin_db,
+            ..Default::default()
+        };
+        let mut dense = Medium::new(dense_cfg, seed);
+        let mut sparse = Medium::new(sparse_cfg, seed);
+        for i in 0..n {
+            let p = Placement::los("ant", i as f64, 0.0);
+            dense.add_antenna(p.clone());
+            sparse.add_antenna(p);
+        }
+        let mut k = 0;
+        for tx in 0..n {
+            for rx in 0..n {
+                if tx != rx {
+                    let amp = hb_dsp::units::amplitude_from_db(gains_db[k]);
+                    let g = C64::from_polar(amp, 0.2 * k as f64);
+                    dense.set_gain(tx, rx, g);
+                    sparse.set_gain(tx, rx, g);
+                    k += 1;
+                }
+            }
+        }
+        let waves: Vec<Vec<C64>> = (0..n)
+            .map(|tx| vec![C64::real(amps[tx % amps.len()]); 16])
+            .collect();
+        for (tx, wave) in waves.iter().enumerate() {
+            dense.transmit(tx, 0, wave);
+            sparse.transmit(tx, 0, wave);
+        }
+        // Identical seeds and identical RNG consumption (culling draws
+        // nothing) → identical noise, so the difference is exactly the
+        // culled contributions.
+        let threshold = hb_dsp::units::ratio_from_db(floor_dbm)
+            * hb_dsp::units::ratio_from_db(margin_db);
+        for rx in 0..n {
+            let yd = dense.receive(rx, 0);
+            let ys = sparse.receive(rx, 0);
+            let mut bound = 0.0;
+            for tx in 0..n {
+                if tx == rx {
+                    continue;
+                }
+                if !sparse.pair_audible(tx, rx) {
+                    let g = sparse.gain(tx, rx);
+                    prop_assert!(g.norm_sq() < threshold, "culled pair must be sub-threshold");
+                    bound += g.abs() * amps[tx % amps.len()];
+                }
+            }
+            for (a, b) in yd.iter().zip(&ys) {
+                prop_assert!((*a - *b).abs() <= bound + 1e-15, "diff {} > bound {}", (*a - *b).abs(), bound);
+            }
+        }
+    }
+
+    /// Moving one antenna invalidates only that antenna's rows: at most
+    /// 2(n−1) pair updates, no full row rebuilds, and audibility flags
+    /// stay consistent with a from-scratch evaluation.
+    #[test]
+    fn mobility_invalidation_is_row_scoped(
+        n in 3usize..10,
+        seed in any::<u64>(),
+        moved in 0usize..10,
+        dx in -5.0f64..5.0,
+        dy in -5.0f64..5.0,
+    ) {
+        let moved = moved % n;
+        let cfg = MediumConfig { cull_margin_db: 6.0, ..Default::default() };
+        let mut m = Medium::new(cfg, seed);
+        for i in 0..n {
+            m.add_antenna(Placement::los("ant", 2.0 * i as f64, 0.0));
+        }
+        let model = PathlossModel::mics_indoor();
+        m.build_links(&model, Fading::None);
+        let before = m.cull_stats();
+        m.move_antenna(moved, Placement::los("ant", 2.0 * moved as f64 + dx, dy), &model, Fading::None);
+        let after = m.cull_stats();
+        prop_assert_eq!(after.rows_rebuilt, before.rows_rebuilt);
+        prop_assert!(after.pair_updates - before.pair_updates <= 2 * (n as u64 - 1));
+        // Default floor is −112 dBm; margin was set to 6 dB above.
+        let threshold = hb_dsp::units::ratio_from_db(-112.0)
+            * hb_dsp::units::ratio_from_db(6.0);
+        for tx in 0..n {
+            let expect = m.gain(tx, moved).norm_sq() >= threshold;
+            prop_assert_eq!(m.pair_audible(tx, moved), expect);
+        }
+    }
 }

@@ -101,16 +101,40 @@ impl NoiseSource {
 
     /// Fills `out` with noise, consuming exactly `2 · out.len()` uniforms.
     pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [C64]) {
-        // Pass 1 — sequential RNG draws (the xoshiro recurrence cannot
-        // vectorize), staged into the output buffer itself, interleaved
-        // per sample so sample k always consumes draws (2k, 2k+1)
+        // Pass 1 — the raw u64 stream, drawn in blocks through
+        // [`RngCore::fill_u64`] (the xoshiro recurrence is inherently
+        // sequential, but the batched walk keeps the generator state in
+        // registers for the whole block instead of per-call). Draw order
+        // is unchanged: sample k always consumes draws (2k, 2k+1)
         // regardless of how fills are chunked across calls.
-        for v in out.iter_mut() {
-            v.re = rng.gen::<f64>().max(1e-300); // fixed-consumption clamp
-            v.im = rng.gen();
+        // Pass 2 — convert the block to clamped uniforms in the output
+        // buffer. With no RNG call in the loop this pass is pure
+        // straight-line arithmetic the compiler can vectorize; the
+        // mapping is bit-identical to the scalar `gen::<f64>()` path
+        // (top 53 bits, `max(1e-300)` fixed-consumption clamp).
+        const CHUNK: usize = 128;
+        let mut raw = [0u64; 2 * CHUNK];
+        for part in out.chunks_mut(CHUNK) {
+            let draws = &mut raw[..2 * part.len()];
+            rng.fill_u64(draws);
+            uniforms_from_draws(draws, part);
         }
-        // Pass 2 — the fused branch-free Box–Muller transform in place.
+        // Pass 3 — the fused branch-free Box–Muller transform in place.
         boxmuller_batch(out, -self.power);
+    }
+}
+
+/// Pass 2 of [`NoiseSource::fill`]: unpacks the paired u64 draws into
+/// clamped `[0, 1)` uniforms, exactly as rand's `Standard` f64 sampling
+/// does (`(u >> 11) · 2⁻⁵³`, then the `max(1e-300)` consumption clamp on
+/// the radius uniform). Standalone with slice params so the optimizer
+/// sees non-aliasing inputs and vectorizes the conversion.
+#[inline(never)]
+fn uniforms_from_draws(draws: &[u64], out: &mut [C64]) {
+    let scale = 1.0 / (1u64 << 53) as f64;
+    for (v, pair) in out.iter_mut().zip(draws.chunks_exact(2)) {
+        v.re = ((pair[0] >> 11) as f64 * scale).max(1e-300);
+        v.im = (pair[1] >> 11) as f64 * scale;
     }
 }
 

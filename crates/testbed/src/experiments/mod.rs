@@ -22,6 +22,7 @@
 //! | [`ablation`] | Design-choice ablations (shaped vs flat jamming, G sweep, turn-around, wearability, RF impairments) |
 //! | [`battery`] | Extension: quantified battery-depletion attack |
 //! | [`ward`] | Extension: two shielded patients in one ward |
+//! | [`hospital`] | Extension: 50 shielded patients (100 devices) on one hospital floor |
 //! | [`mobile`] | Extension: adversary walking a path through the layout |
 
 pub mod ablation;
@@ -36,6 +37,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hospital;
 pub mod mobile;
 pub mod registry;
 pub mod table1;

@@ -23,7 +23,7 @@
 
 use super::{ablation, battery, fig10, fig11, fig12, fig13};
 use super::{fig3, fig4, fig5, fig7, fig8, fig9};
-use super::{mobile, table1, table2, ward, Effort};
+use super::{hospital, mobile, table1, table2, ward, Effort};
 use crate::checkpoint::{self, RunCtl, RunHealth};
 use crate::report::Artifact;
 use std::sync::Arc;
@@ -99,6 +99,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &ablation::RobustnessExperiment,
     &battery::BatteryExperiment,
     &ward::WardExperiment,
+    &hospital::HospitalFloorExperiment,
     &mobile::MobileExperiment,
     &crate::crosstraffic::CrossTrafficExperiment,
 ];

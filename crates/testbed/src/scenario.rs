@@ -70,6 +70,11 @@ pub struct ScenarioConfig {
     /// lets an FCC-power shield out-jam an FCC-power adversary at the IMD
     /// (Fig. 11/12) while the 100× adversary still wins up close (Fig. 13).
     pub shield_body_coupling_db: f64,
+    /// Pathloss-culling margin handed to [`MediumConfig::cull_margin_db`].
+    /// `−∞` (the paper default) reproduces the dense engine bit for bit;
+    /// ward-scale experiments set a finite margin so the O(n²) pair walk
+    /// only touches audible links.
+    pub cull_margin_db: f64,
 }
 
 impl ScenarioConfig {
@@ -86,6 +91,7 @@ impl ScenarioConfig {
             shield_tweak: None,
             jam_margin_db: None,
             shield_body_coupling_db: 21.0,
+            cull_margin_db: f64::NEG_INFINITY,
         }
     }
 
@@ -148,7 +154,11 @@ impl ScenarioBuilder {
     pub fn new(cfg: ScenarioConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let layout = Fig6Layout::paper();
-        let mut medium = Medium::new(MediumConfig::default(), rng.gen());
+        let medium_cfg = MediumConfig {
+            cull_margin_db: cfg.cull_margin_db,
+            ..MediumConfig::default()
+        };
+        let mut medium = Medium::new(medium_cfg, rng.gen());
         let imd_ant = medium.add_antenna(Placement::los("imd", 0.0, 0.0).implanted());
 
         let shield = if cfg.shield_enabled {
@@ -156,7 +166,8 @@ impl ScenarioBuilder {
                 &cfg,
                 &mut medium,
                 &mut rng,
-                cfg.imd_model,
+                cfg.imd_model.config(cfg.channel).serial,
+                cfg.channel,
                 imd_ant,
                 (layout.shield_offset_m, 0.0),
             ))
@@ -184,6 +195,16 @@ impl ScenarioBuilder {
     /// each shield relays only to its own implant (ward scenarios pair a
     /// Virtuoso with a Concerto, as a real ward would mix devices).
     pub fn add_patient(&mut self, offset_m: (f64, f64), model: ImdModel) -> usize {
+        self.add_patient_cfg(offset_m, model.config(self.cfg.channel))
+    }
+
+    /// [`add_patient`](Self::add_patient) with an explicit device
+    /// configuration: ward-scale scenarios hand every bed a unique serial
+    /// (so each shield relays only to its own implant) and spread the
+    /// population across MICS channels. The shield is installed on the
+    /// implant's own channel, which may differ from the scenario's session
+    /// channel.
+    pub fn add_patient_cfg(&mut self, offset_m: (f64, f64), imd_cfg: ImdConfig) -> usize {
         let imd_ant = self
             .medium
             .add_antenna(Placement::los("ward-imd", offset_m.0, offset_m.1).implanted());
@@ -191,13 +212,14 @@ impl ScenarioBuilder {
             &self.cfg,
             &mut self.medium,
             &mut self.rng,
-            model,
+            imd_cfg.serial,
+            imd_cfg.channel,
             imd_ant,
             (offset_m.0 + self.layout.shield_offset_m, offset_m.1),
         );
         self.patients.push(PendingPatient {
             imd_ant,
-            imd_cfg: model.config(self.cfg.channel),
+            imd_cfg,
             shield,
         });
         self.patients.len() - 1
@@ -262,11 +284,12 @@ fn install_shield(
     cfg: &ScenarioConfig,
     medium: &mut Medium,
     rng: &mut StdRng,
-    model: ImdModel,
+    serial: hb_phy::packet::Serial,
+    channel: usize,
     imd_ant: AntennaId,
     position: (f64, f64),
 ) -> Shield {
-    let mut scfg = ShieldConfig::paper_defaults(model.config(cfg.channel).serial, cfg.channel);
+    let mut scfg = ShieldConfig::paper_defaults(serial, channel);
     if let Some(margin) = cfg.jam_margin_db {
         scfg.jam_margin_db = margin;
     }

@@ -28,6 +28,7 @@ const EXPECTED: &[&str] = &[
     "ablation-rf",
     "battery",
     "ward-multi-imd",
+    "ward-hospital-floor",
     "mobile-adversary",
     "crosstraffic",
 ];
