@@ -86,6 +86,7 @@ struct Args {
     checkpoint_dir: Option<String>,
     resume: bool,
     deadline_secs: Option<f64>,
+    fault: Option<String>,
 }
 
 const USAGE: &str = "usage:
@@ -93,7 +94,7 @@ const USAGE: &str = "usage:
   hb_eval run <name>... [--effort quick|full|tiny] [--seed N]
                         [--threads N] [--format text|csv|json] [--ci]
                         [--out-dir DIR] [--checkpoint-dir DIR] [--resume]
-                        [--deadline-secs N]
+                        [--deadline-secs N] [--fault SPEC]
   hb_eval --all [same flags as run]
 
 `hb_eval --list` shows every registered experiment.
@@ -104,7 +105,11 @@ them).
 DIR/<experiment>/ after every round; `--resume` continues an interrupted
 run from those journals (bit-identical to an uninterrupted run).
 `--deadline-secs N` stops cleanly at a checkpoint once N seconds have
-elapsed, marking partial artifacts as truncated (exit code 3).";
+elapsed, marking partial artifacts as truncated (exit code 3).
+`--fault SPEC` injects a deterministic runtime fault
+(panic:<trial>|crash_after_round:<n>|io_fail:<substr>) for resilience
+testing; equivalent to setting HB_FAULT, but a bad spec is an error here
+instead of a warning.";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -119,6 +124,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         checkpoint_dir: None,
         resume: false,
         deadline_secs: None,
+        fault: None,
     };
     let mut it = argv.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -175,6 +181,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.deadline_secs = Some(secs);
             }
+            "--fault" => {
+                let v = value(&mut it, "--fault")?;
+                if checkpoint::parse_fault(&v).is_none() {
+                    return Err(format!(
+                        "bad --fault spec '{v}' (expected \
+                         panic:<trial>|crash_after_round:<n>|io_fail:<substr>)"
+                    ));
+                }
+                args.fault = Some(v);
+            }
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
         }
     }
@@ -196,9 +212,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--ci applies to experiment runs, not --list\n\n{USAGE}"
         ));
     }
-    if args.list && (args.checkpoint_dir.is_some() || args.resume || args.deadline_secs.is_some()) {
+    if args.list
+        && (args.checkpoint_dir.is_some()
+            || args.resume
+            || args.deadline_secs.is_some()
+            || args.fault.is_some())
+    {
         return Err(format!(
-            "--checkpoint-dir/--resume/--deadline-secs apply to experiment runs, not --list\n\n{USAGE}"
+            "--checkpoint-dir/--resume/--deadline-secs/--fault apply to experiment runs, not --list\n\n{USAGE}"
         ));
     }
     if args.resume && args.checkpoint_dir.is_none() {
@@ -273,6 +294,11 @@ fn main() -> ExitCode {
     if args.list {
         print!("{}", render_list(args.format));
         return ExitCode::SUCCESS;
+    }
+    // The flag wins over any inherited HB_FAULT; it must land before the
+    // first `checkpoint::fault()` call locks the process-wide value in.
+    if let Some(spec) = &args.fault {
+        std::env::set_var("HB_FAULT", spec);
     }
 
     let selected: Vec<&'static dyn Experiment> = if args.all {
@@ -471,6 +497,26 @@ mod tests {
         assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
         assert!(a.resume);
         assert_eq!(a.deadline_secs, Some(90.5));
+    }
+
+    #[test]
+    fn fault_flag_parses_and_misuse_is_rejected() {
+        let a = parse(&["run", "fig9", "--fault", "panic:3"]).unwrap();
+        assert_eq!(a.fault.as_deref(), Some("panic:3"));
+        let a = parse(&["--all", "--fault", "io_fail:figure_9"]).unwrap();
+        assert_eq!(a.fault.as_deref(), Some("io_fail:figure_9"));
+
+        for bad in ["panic", "panic:", "panic:x", "explode:1", "io_fail:", ""] {
+            let err = parse(&["run", "fig9", "--fault", bad]).unwrap_err();
+            assert!(
+                err.contains("bad --fault spec"),
+                "fault '{bad}' must be rejected: {err}"
+            );
+        }
+        let err = parse(&["run", "fig9", "--fault"]).unwrap_err();
+        assert!(err.contains("--fault needs a value"), "{err}");
+        let err = parse(&["--list", "--fault", "panic:3"]).unwrap_err();
+        assert!(err.contains("apply to experiment runs"), "{err}");
     }
 
     #[test]

@@ -413,6 +413,25 @@ fn main() {
             std::hint::black_box(scenario.shield.as_ref().unwrap().stats.imd_frames_ok);
         },
     ));
+    timings.push(time_kernel(
+        "arq_exchange_faulty",
+        "one ARQ interrogation under calibrated burst loss (intensity 1.0)",
+        3 * scale,
+        || {
+            use hb_testbed::experiments::resilience;
+            let mut cfg = ScenarioConfig::paper(9);
+            cfg.fault = resilience::fault_plan(1.0);
+            let mut scenario = ScenarioBuilder::new(cfg).build();
+            let out = hb_testbed::recovery::run_arq_exchange(
+                &mut scenario,
+                &mut [],
+                Command::Interrogate,
+                hb_imd::arq::ArqConfig::default(),
+                hb_mics::session::SessionConfig::default(),
+            );
+            std::hint::black_box(out.map(|o| o.blocks).unwrap_or(0));
+        },
+    ));
     if quick {
         timings.push(time_kernel(
             "fig9_one_location",

@@ -9,6 +9,9 @@
 //!   shadowing, and the in-body loss term `L_body` of §6(b).
 //! * [`fading`] — Rayleigh/Rician link gains and tapped-delay-line
 //!   multipath (for the wideband extension).
+//! * [`fault`] — deterministic channel fault injection: seeded burst
+//!   gain dropouts, impulse-noise storms, and timed shield-outage
+//!   schedules, drawn from a dedicated RNG stream.
 //! * [`medium`] — the block-stepped shared medium: linear mixing of
 //!   concurrent transmissions with per-link complex gains plus receiver
 //!   noise, with explicit wired-coupling overrides for the shield's
@@ -19,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod fading;
+pub mod fault;
 pub mod geometry;
 pub mod medium;
 pub mod pathloss;
 pub mod sim;
 pub mod txsched;
 
+pub use fault::FaultPlan;
 pub use geometry::{Placement, Point};
 pub use medium::{AntennaId, Medium, MediumConfig, Tick};
 pub use pathloss::PathlossModel;

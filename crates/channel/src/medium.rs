@@ -46,6 +46,7 @@
 //! row), never the full matrix.
 
 use crate::fading::Fading;
+use crate::fault::FaultPlan;
 use crate::geometry::Placement;
 use crate::pathloss::PathlossModel;
 use hb_dsp::complex::C64;
@@ -81,6 +82,11 @@ pub struct MediumConfig {
     /// makes the threshold exactly zero: nothing is culled and the engine
     /// is bit-for-bit the dense engine.
     pub cull_margin_db: f64,
+    /// Deterministic fault schedule (see [`crate::fault`]). The inactive
+    /// default allocates no fault state and draws nothing: the engine is
+    /// bit-for-bit the fault-free engine. An active plan draws from its
+    /// own RNG stream, never from the medium's main stream.
+    pub fault: FaultPlan,
 }
 
 impl Default for MediumConfig {
@@ -95,6 +101,8 @@ impl Default for MediumConfig {
             noise_floor_dbm: -112.0,
             // Dense by default: culling is opt-in per scenario.
             cull_margin_db: f64::NEG_INFINITY,
+            // Fault-free by default: adversity is opt-in per scenario.
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -113,6 +121,64 @@ struct RxSlot {
     buf: Vec<C64>,
     /// True once this block's mixture has been computed into `buf`.
     valid: bool,
+}
+
+/// Runtime state of an armed [`FaultPlan`]: the dedicated RNG stream plus
+/// the per-block burst counters. Present only when the plan perturbs the
+/// medium — the fault-free engine allocates none of this and draws
+/// nothing extra anywhere.
+struct FaultState {
+    plan: FaultPlan,
+    /// Dedicated stream: fault draws never touch the medium's main RNG.
+    rng: StdRng,
+    /// Blocks remaining in the current gain-dropout burst (counting the
+    /// current block).
+    dropout_left: u32,
+    /// Blocks remaining in the current impulse-noise storm.
+    storm_left: u32,
+    /// Amplitude scale applied to every staged transmission during a
+    /// dropout (`10^(-depth/20)`), precomputed.
+    dropout_amp: f64,
+    /// Storm noise power, linear.
+    storm_power: f64,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, seed: u64) -> Self {
+        let mut s = FaultState {
+            plan,
+            // Fixed derivation: the fault stream is a pure function of the
+            // medium seed, disjoint from the main stream seeded by `seed`
+            // itself.
+            rng: StdRng::seed_from_u64(seed ^ 0xFA_0175_EEDC_A5E5),
+            dropout_left: 0,
+            storm_left: 0,
+            dropout_amp: ratio_from_db(-plan.dropout_depth_db).sqrt(),
+            storm_power: ratio_from_db(plan.storm_power_dbm),
+        };
+        s.advance();
+        s
+    }
+
+    /// Rolls the hazard dice for one block: exactly two draws regardless
+    /// of burst state, so the fault schedule is a pure function of
+    /// `(plan, seed, block index)` — independent of receive order, count,
+    /// or thread layout. A burst in progress runs down before a new one
+    /// can start (the block after a burst never starts another).
+    fn advance(&mut self) {
+        let d: f64 = self.rng.gen();
+        let s: f64 = self.rng.gen();
+        if self.dropout_left > 0 {
+            self.dropout_left -= 1;
+        } else if d < self.plan.dropout_start_prob {
+            self.dropout_left = self.plan.dropout_len_blocks;
+        }
+        if self.storm_left > 0 {
+            self.storm_left -= 1;
+        } else if s < self.plan.storm_start_prob {
+            self.storm_left = self.plan.storm_len_blocks;
+        }
+    }
 }
 
 /// Provenance of one directed gain entry: who wrote it decides whether
@@ -170,6 +236,9 @@ pub struct Medium {
     any_cfo: bool,
     /// Impulsive interference: (probability per block, power linear).
     impulse: Option<(f64, f64)>,
+    /// Armed fault-injection state; `None` whenever the configured plan
+    /// cannot perturb the medium.
+    fault: Option<FaultState>,
     /// Directed link gains, dense row-major: `gains[tx * n + rx]` is the
     /// gain from `tx`'s transmitter to `rx`'s receiver. Reciprocal by
     /// construction unless overridden.
@@ -230,6 +299,10 @@ impl Medium {
             cfo_hz: Vec::new(),
             any_cfo: false,
             impulse: None,
+            fault: cfg
+                .fault
+                .perturbs_medium()
+                .then(|| FaultState::new(cfg.fault, seed)),
             gains: Vec::new(),
             gain_state: Vec::new(),
             audible: Vec::new(),
@@ -591,6 +664,26 @@ impl Medium {
                 }
             }
         }
+        // Impulse-noise storm fault: extra noise on the masked channels,
+        // drawn from the dedicated fault stream so the main stream's draw
+        // sequence is untouched even while the storm fires.
+        if let Some(f) = self.fault.as_mut() {
+            if f.storm_left > 0 && channel < 16 && (f.plan.storm_channel_mask >> channel) & 1 == 1 {
+                white_noise_into(&mut f.rng, &mut self.impulse_scratch, f.storm_power);
+                for (v, &n) in buf.iter_mut().zip(self.impulse_scratch.iter()) {
+                    *v += n;
+                }
+            }
+        }
+        // Gain-dropout fault: one real amplitude scale on every staged
+        // contribution this block. Receiver noise is untouched, so a
+        // dropout is a pure SNR loss; scaling every transmitter equally
+        // preserves linear-combination identities (the shield's antidote
+        // still cancels its own jamming exactly).
+        let fault_amp = match &self.fault {
+            Some(f) if f.dropout_left > 0 => f.dropout_amp,
+            _ => 1.0,
+        };
         let block_start = self.block_index * block_len as u64;
         let audible = &self.audible[rx * n..(rx + 1) * n];
         for &staged_idx in &self.staged_by_channel[channel] {
@@ -605,6 +698,13 @@ impl Medium {
             if g == C64::ZERO {
                 continue;
             }
+            // Fault-free (and out-of-burst) blocks take the untouched
+            // gain — bit-identical to the engine without fault support.
+            let g = if fault_amp != 1.0 {
+                g.scale(fault_amp)
+            } else {
+                g
+            };
             // Relative oscillator rotation between transmitter and receiver.
             let dcfo = if self.any_cfo {
                 self.cfo_hz[tx.tx] - self.cfo_hz[rx]
@@ -682,6 +782,25 @@ impl Medium {
         self.cfo_phasors_len = 0;
         self.receiving = false;
         self.block_index += 1;
+        // Roll the fault hazards for the new block — once per block, here,
+        // never in the receive path (see the [`crate::fault`] determinism
+        // contract).
+        if let Some(f) = self.fault.as_mut() {
+            f.advance();
+        }
+    }
+
+    /// True while a gain-dropout burst is active this block. Observer
+    /// view for tests and experiments; always false without an armed
+    /// fault plan.
+    pub fn fault_dropout_active(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.dropout_left > 0)
+    }
+
+    /// True while an impulse-noise storm is active this block (on the
+    /// plan's masked channels). Always false without an armed fault plan.
+    pub fn fault_storm_active(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.storm_left > 0)
     }
 
     /// Direct access to the medium's RNG (for device models that want to

@@ -1,6 +1,7 @@
 //! Property-based tests for the channel substrate.
 
 use hb_channel::fading::{Fading, MultipathChannel};
+use hb_channel::fault::FaultPlan;
 use hb_channel::geometry::{Placement, Point};
 use hb_channel::medium::{Medium, MediumConfig};
 use hb_channel::pathloss::PathlossModel;
@@ -278,6 +279,122 @@ proptest! {
         for tx in 0..n {
             let expect = m.gain(tx, moved).norm_sq() >= threshold;
             prop_assert_eq!(m.pair_audible(tx, moved), expect);
+        }
+    }
+
+    /// Faults-off ≡ today, and the fault stream is isolated: a medium with
+    /// an armed storm plan is *bit-identical* to its unarmed twin on every
+    /// channel outside the storm mask, across multiple blocks. The armed
+    /// plan draws its hazards and storm noise from a dedicated stream, so
+    /// the main stream's draw sequence — and therefore every receive the
+    /// faults don't touch — matches the fault-free engine exactly. (The
+    /// default `FaultPlan::none()` config doesn't even arm the state, so
+    /// it is a fortiori bit-identical to the pre-fault engine.)
+    #[test]
+    fn armed_fault_stream_is_isolated_from_main_stream(
+        seed in any::<u64>(),
+        storm_ch in 0usize..10,
+        clean_ch in 0usize..10,
+        storm_dbm in -80.0f64..-40.0,
+        amp in 0.05f64..2.0,
+        blocks in 1usize..6,
+    ) {
+        prop_assume!(storm_ch != clean_ch);
+        let clean_cfg = MediumConfig::default();
+        let armed_cfg = MediumConfig {
+            fault: FaultPlan {
+                storm_start_prob: 1.0,
+                storm_len_blocks: 3,
+                storm_power_dbm: storm_dbm,
+                storm_channel_mask: 1 << storm_ch,
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let mut clean = Medium::new(clean_cfg, seed);
+        let mut armed = Medium::new(armed_cfg, seed);
+        for m in [&mut clean, &mut armed] {
+            let tx = m.add_antenna(Placement::los("tx", 0.0, 0.0));
+            let rx = m.add_antenna(Placement::los("rx", 1.0, 0.0));
+            m.set_gain(tx, rx, C64::from_polar(0.5, 0.7));
+        }
+        let wave = vec![C64::real(amp); 16];
+        for _ in 0..blocks {
+            clean.transmit(0, clean_ch, &wave);
+            armed.transmit(0, clean_ch, &wave);
+            // Same receive order on both media: first the clean channel,
+            // then the stormed one.
+            let yc = clean.receive(1, clean_ch);
+            let ya = armed.receive(1, clean_ch);
+            for (a, b) in ya.iter().zip(&yc) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            // On the masked channel the storm adds power on top of the
+            // *same* main-stream noise draw. (A burst runs down before the
+            // next can start, so one block in `storm_len_blocks + 1` is
+            // storm-free even at start probability 1.)
+            let pc = hb_dsp::complex::mean_power(&clean.receive(1, storm_ch));
+            let pa = hb_dsp::complex::mean_power(&armed.receive(1, storm_ch));
+            if armed.fault_storm_active() {
+                prop_assert!(
+                    pa > pc,
+                    "storm power {pa} not above clean floor {pc} on masked channel"
+                );
+            } else {
+                prop_assert_eq!(pa.to_bits(), pc.to_bits());
+            }
+            clean.end_block();
+            armed.end_block();
+        }
+    }
+
+    /// A gain dropout is a pure signal fade: receiver noise is untouched
+    /// (bit-identical to an unarmed twin's noise) and the signal term is
+    /// scaled by exactly `10^(-depth/20)`.
+    #[test]
+    fn dropout_is_pure_signal_fade(
+        seed in any::<u64>(),
+        depth_db in 10.0f64..60.0,
+        amp in 0.1f64..2.0,
+        gain_db in -60.0f64..-10.0,
+    ) {
+        let fault = FaultPlan {
+            dropout_start_prob: 1.0,
+            dropout_len_blocks: 4,
+            dropout_depth_db: depth_db,
+            ..FaultPlan::none()
+        };
+        let clean_cfg = MediumConfig::default();
+        let armed_cfg = MediumConfig { fault, ..Default::default() };
+        let mut clean = Medium::new(clean_cfg, seed);
+        let mut armed = Medium::new(armed_cfg, seed);
+        let mut noise_twin = Medium::new(clean_cfg, seed);
+        for m in [&mut clean, &mut armed, &mut noise_twin] {
+            let tx = m.add_antenna(Placement::los("tx", 0.0, 0.0));
+            let rx = m.add_antenna(Placement::los("rx", 1.0, 0.0));
+            let g = C64::from_polar(hb_dsp::units::amplitude_from_db(gain_db), 0.3);
+            m.set_gain(tx, rx, g);
+        }
+        let wave = vec![C64::new(amp, 0.5 * amp); 16];
+        clean.transmit(0, 0, &wave);
+        armed.transmit(0, 0, &wave);
+        // The noise twin stages nothing: identical seed and identical
+        // draw sequence, so its receive IS the shared noise realization.
+        let yc = clean.receive(1, 0);
+        prop_assert!(armed.fault_dropout_active());
+        let ya = armed.receive(1, 0);
+        let yn = noise_twin.receive(1, 0);
+        let fade = hb_dsp::units::ratio_from_db(-depth_db).sqrt();
+        for ((a, c), n) in ya.iter().zip(yc).zip(yn) {
+            // Signal terms: receive minus the shared noise realization.
+            let sa = *a - n;
+            let sc = c - n;
+            let err = (sa - sc.scale(fade)).abs();
+            prop_assert!(
+                err < 1e-12 * (1.0 + sc.abs()),
+                "faded signal off by {err}"
+            );
         }
     }
 }

@@ -135,6 +135,38 @@ pub struct ShieldEvent {
     pub kind: ShieldEventKind,
 }
 
+/// A timed shield outage: the shield's transmit chain is silenced inside
+/// the windows (jamming, relays, antidotes), while its receive chain —
+/// detection, decoding, jam bookkeeping — keeps running. Models a fault
+/// (battery brown-out, firmware watchdog, accidental unplug) in the one
+/// device the paper's security argument leans on; the resilience
+/// experiments quantify the exposure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageSchedule {
+    /// First window start, seconds.
+    pub start_s: f64,
+    /// Window length, seconds.
+    pub len_s: f64,
+    /// Repetition period, seconds (`0` means one-shot).
+    pub period_s: f64,
+}
+
+impl OutageSchedule {
+    /// True when `t_s` falls inside an outage window.
+    pub fn contains(&self, t_s: f64) -> bool {
+        if self.len_s <= 0.0 || t_s < self.start_s {
+            return false;
+        }
+        let dt = t_s - self.start_s;
+        let phase = if self.period_s > 0.0 {
+            dt % self.period_s
+        } else {
+            dt
+        };
+        phase < self.len_s
+    }
+}
+
 /// Aggregate counters for experiments.
 #[derive(Debug, Clone, Default)]
 pub struct ShieldStats {
@@ -155,6 +187,15 @@ pub struct ShieldStats {
     /// Measured turn-around times, seconds (Table 2 data): jam-off delay
     /// after the jammed channel went idle.
     pub turnaround_s: Vec<f64>,
+    /// Blocks spent silenced by an [`OutageSchedule`] window.
+    pub outage_blocks: u64,
+    /// Silenced blocks in which the shield *wanted* to jam (a passive
+    /// reply window or an active engagement was due) but could not — the
+    /// confidentiality/integrity exposure window of an outage.
+    pub outage_exposed_blocks: u64,
+    /// Fail-safe re-locks: outage windows that ended with jamming still
+    /// due, where emission resumed on the first unsilenced block.
+    pub outage_relocks: u64,
 }
 
 /// Shield configuration. Defaults reproduce the paper's settings.
@@ -207,6 +248,10 @@ pub struct ShieldConfig {
     pub squelch_dbm: f64,
     /// Pre-shared key for the programmer channel.
     pub session_key: [u8; 32],
+    /// Timed transmit-chain outages (fault injection). `None` — the
+    /// default — leaves the shield's behavior bit-identical to the
+    /// outage-free engine.
+    pub outage: Option<OutageSchedule>,
 }
 
 impl ShieldConfig {
@@ -232,6 +277,7 @@ impl ShieldConfig {
             idle_margin_db: 8.0,
             squelch_dbm: -95.0,
             session_key: [0x42; 32],
+            outage: None,
         }
     }
 }
@@ -288,6 +334,9 @@ pub struct Shield {
     scratch_silence: Vec<C64>,
     /// Pooled scratch: this block's (channel, jam power) emissions.
     scratch_jam_channels: Vec<(usize, f64)>,
+    /// Whether the previous block was silenced by an outage window (for
+    /// the fail-safe re-lock accounting).
+    was_silenced: bool,
     rng: StdRng,
     /// Aggregate counters.
     pub stats: ShieldStats,
@@ -351,6 +400,7 @@ impl Shield {
             scratch_antidote: Vec::new(),
             scratch_silence: Vec::new(),
             scratch_jam_channels: Vec::new(),
+            was_silenced: false,
             rng,
             stats,
             events: Vec::new(),
@@ -403,6 +453,13 @@ impl Shield {
         Ok(())
     }
 
+    /// Commands queued for relay but not yet on the air (ARQ drivers use
+    /// this to avoid stacking a retransmission behind a copy that has not
+    /// even started).
+    pub fn pending_commands(&self) -> usize {
+        self.pending_commands.len()
+    }
+
     /// Drains decoded IMD responses (plaintext, for experiments).
     pub fn take_responses(&mut self) -> Vec<Response> {
         std::mem::take(&mut self.decoded_responses)
@@ -413,19 +470,62 @@ impl Shield {
         std::mem::take(&mut self.sealed_responses)
     }
 
-    /// True if the shield is emitting jamming on `channel` this block.
-    pub fn jamming_on(&self, channel: usize, tick: Tick) -> bool {
-        let passive = channel == self.cfg.session_channel
+    /// True while the shield is jamming `channel` inside the passive
+    /// reply window of its own relayed exchange — protocol-intrinsic
+    /// energy a session supervisor must not mistake for interference
+    /// (unlike an *active* engagement, which is triggered by foreign
+    /// energy and is exactly the interference signal worth reacting to).
+    pub fn passive_jamming_on(&self, channel: usize, tick: Tick) -> bool {
+        channel == self.cfg.session_channel
             && self
                 .passive_window
                 .map(|(s, e)| tick >= s && tick < e)
-                .unwrap_or(false);
-        passive || self.active.contains_key(&channel)
+                .unwrap_or(false)
+    }
+
+    /// True if the shield is emitting jamming on `channel` this block.
+    pub fn jamming_on(&self, channel: usize, tick: Tick) -> bool {
+        self.passive_jamming_on(channel, tick) || self.active.contains_key(&channel)
     }
 
     /// Running estimate of the IMD's received power at the shield, dBm.
     pub fn imd_rx_estimate_dbm(&self) -> f64 {
         self.imd_rx_dbm
+    }
+
+    /// True while a relayed command transmission is in flight.
+    pub fn transmitting(&self) -> bool {
+        self.own_tx.is_some()
+    }
+
+    /// True when `tick` falls inside a configured outage window.
+    pub fn in_outage(&self, tick: Tick) -> bool {
+        self.cfg
+            .outage
+            .map(|o| o.contains(tick as f64 / self.cfg.fsk.fs_hz))
+            .unwrap_or(false)
+    }
+
+    /// Moves the protected session to a new MICS channel (the §2 rescan
+    /// outcome, driven by the scenario's session-recovery layer). Clears
+    /// the session-channel detector state and any pending passive window;
+    /// the detector clocks keep running, so timing stays consistent.
+    pub fn retune(&mut self, channel: usize, tick: Tick) {
+        if channel == self.cfg.session_channel {
+            return;
+        }
+        if self.passive_window.take().is_some() {
+            self.log(
+                tick,
+                ShieldEventKind::JamEnd {
+                    channel: self.cfg.session_channel,
+                },
+            );
+        }
+        self.own_tx = None;
+        self.frame_detector.reset();
+        self.sid_monitors[self.cfg.session_channel].reset();
+        self.cfg.session_channel = channel;
     }
 
     fn log(&mut self, tick: Tick, kind: ShieldEventKind) {
@@ -524,17 +624,28 @@ impl Node for Shield {
         let tick = medium.tick();
         let block_len = medium.config().block_len;
 
+        // Timed outage: the transmit chain is down this block. Everything
+        // below still runs its bookkeeping (own-tx offsets advance, jam
+        // windows open and expire) so recovery resumes mid-schedule; only
+        // the emissions — and the RNG draws that exist solely to shape
+        // them — are suppressed. Without a configured outage this is
+        // always false and the path is bit-identical to the outage-free
+        // engine.
+        let silenced = self.in_outage(tick);
+        if silenced {
+            self.stats.outage_blocks += 1;
+        }
+
         // Periodic channel (re-)estimation — §5's 200 ms probe cycle. Skip
         // while transmitting or jamming (the paper also estimates
         // immediately before each jam; our estimates stay fresh enough at
         // the probe cadence).
-        let busy = self.own_tx.is_some()
-            || self
-                .passive_window
-                .map(|(s, e)| tick >= s && tick < e)
-                .unwrap_or(false)
-            || !self.active.is_empty();
-        if tick >= self.next_probe_tick && !busy {
+        let in_passive_window = self
+            .passive_window
+            .map(|(s, e)| tick >= s && tick < e)
+            .unwrap_or(false);
+        let busy = self.own_tx.is_some() || in_passive_window || !self.active.is_empty();
+        if tick >= self.next_probe_tick && !busy && !silenced {
             self.fd.estimate(self.cfg.est_snr_db, &mut self.rng);
             let g = self.fd.cancellation_db();
             self.stats.cancellation_db.push(g);
@@ -545,8 +656,15 @@ impl Node for Shield {
             self.next_probe_tick = tick + (self.cfg.probe_interval_s * self.cfg.fsk.fs_hz) as Tick;
         }
 
-        // Start a pending relayed command if the air is ours.
-        if self.own_tx.is_none() && !busy {
+        // Start a pending relayed command if the air is ours (and the
+        // transmit chain is up). Active jams on *other* channels don't
+        // gate the relay: emission is per-channel, and a session moved
+        // away from a persistently jammed channel must still be usable
+        // while the engagement there winds down.
+        let relay_busy = self.own_tx.is_some()
+            || in_passive_window
+            || self.active.contains_key(&self.cfg.session_channel);
+        if !relay_busy && !silenced {
             if let Some(cmd) = self.pending_commands.pop_front() {
                 let frame = Frame::new(
                     self.cfg.protected_serial,
@@ -570,14 +688,19 @@ impl Node for Shield {
         }
 
         // Emit this block's slice of our own transmission (plus antidote).
+        // During an outage the offset still advances but nothing airs —
+        // the frame goes out with a hole and fails CRC at the IMD, a
+        // degraded outcome the ARQ layer sees as a timeout.
         let mut completed_tx: Option<(Tick, usize)> = None;
         if let Some(own) = &self.own_tx {
             let offset = (tick - own.start_tick) as usize;
             let end = (offset + block_len).min(own.samples.len());
             let slice = &own.samples[offset..end];
-            medium.transmit(self.jam_ant, own.channel, slice);
-            self.fd.antidote_into(slice, &mut self.scratch_antidote);
-            medium.transmit(self.rx_ant, own.channel, &self.scratch_antidote);
+            if !silenced {
+                medium.transmit(self.jam_ant, own.channel, slice);
+                self.fd.antidote_into(slice, &mut self.scratch_antidote);
+                medium.transmit(self.rx_ant, own.channel, &self.scratch_antidote);
+            }
             if end == own.samples.len() {
                 let end_tick = own.start_tick + own.samples.len() as Tick;
                 completed_tx = Some((end_tick, own.channel));
@@ -630,16 +753,31 @@ impl Node for Shield {
                 None => jam_channels.push((ch, self.cfg.active_jam_power_dbm)),
             }
         }
-        for &(ch, power_dbm) in &jam_channels {
-            self.jam.set_power_dbm(power_dbm);
-            self.scratch_jam.resize(block_len, C64::ZERO);
-            self.jam
-                .next_samples_into(&mut self.rng, &mut self.scratch_jam);
-            self.fd
-                .antidote_into(&self.scratch_jam, &mut self.scratch_antidote);
-            medium.transmit(self.rx_ant, ch, &self.scratch_antidote);
-            medium.transmit(self.jam_ant, ch, &self.scratch_jam);
+        if silenced {
+            // Exposure accounting: jamming was due but the transmit chain
+            // is down — the IMD's reply (or the adversary's frame) is on
+            // the air unjammed for these blocks.
+            if !jam_channels.is_empty() {
+                self.stats.outage_exposed_blocks += 1;
+            }
+        } else {
+            // Fail-safe re-lock: the outage just ended with jamming still
+            // due — emission resumes this very block.
+            if self.was_silenced && !jam_channels.is_empty() {
+                self.stats.outage_relocks += 1;
+            }
+            for &(ch, power_dbm) in &jam_channels {
+                self.jam.set_power_dbm(power_dbm);
+                self.scratch_jam.resize(block_len, C64::ZERO);
+                self.jam
+                    .next_samples_into(&mut self.rng, &mut self.scratch_jam);
+                self.fd
+                    .antidote_into(&self.scratch_jam, &mut self.scratch_antidote);
+                medium.transmit(self.rx_ant, ch, &self.scratch_antidote);
+                medium.transmit(self.jam_ant, ch, &self.scratch_jam);
+            }
         }
+        self.was_silenced = silenced;
         self.scratch_jam_channels = jam_channels;
     }
 
@@ -814,5 +952,43 @@ impl Node for Shield {
                 self.passive_window = Some((tick + t1, tick + t1 + window));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_schedule_windows() {
+        let one_shot = OutageSchedule {
+            start_s: 0.010,
+            len_s: 0.005,
+            period_s: 0.0,
+        };
+        assert!(!one_shot.contains(0.0));
+        assert!(!one_shot.contains(0.0099));
+        assert!(one_shot.contains(0.010));
+        assert!(one_shot.contains(0.0149));
+        assert!(!one_shot.contains(0.0151));
+        assert!(!one_shot.contains(1.0));
+
+        let periodic = OutageSchedule {
+            start_s: 0.010,
+            len_s: 0.005,
+            period_s: 0.050,
+        };
+        assert!(periodic.contains(0.012));
+        assert!(!periodic.contains(0.020));
+        assert!(periodic.contains(0.062));
+        assert!(!periodic.contains(0.070));
+
+        let disabled = OutageSchedule {
+            start_s: 0.0,
+            len_s: 0.0,
+            period_s: 0.0,
+        };
+        assert!(!disabled.contains(0.0));
+        assert!(!disabled.contains(5.0));
     }
 }

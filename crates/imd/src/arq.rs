@@ -1,0 +1,273 @@
+//! Link-layer ARQ: programmer-side exchange tracking with reply timeout,
+//! bounded retries, and deterministic exponential backoff.
+//!
+//! The MICS link has no link-layer acknowledgements of its own — the
+//! paper's exchanges are fire-and-forget, which is fine in a clean lab
+//! and useless in a ward. [`ArqTracker`] is the minimal stop-and-wait
+//! machine an operator console would run on top of the relay path: send
+//! the command, await the IMD's reply (the reply *is* the ACK — the
+//! protocol has no separate acknowledgement frame), and on timeout back
+//! off and retry a bounded number of times.
+//!
+//! The tracker is a pure state machine over sample ticks: no RNG, no
+//! clock reads, no channel access. Backoff is deterministic
+//! (`base · 2^(attempt−1)`, capped) on purpose: randomized backoff buys
+//! nothing against channel faults (there is exactly one station per
+//! session — collisions with *ourselves* are impossible), and a
+//! deterministic schedule keeps every simulation bit-reproducible.
+//! Retries are bounded because unbounded retransmission is itself a
+//! battery-depletion attack on the implant (each duplicate command costs
+//! irreplaceable IMD energy); after the budget is spent the tracker
+//! reports failure and leaves recovery — e.g. a MICS channel rescan — to
+//! the session layer.
+
+use hb_channel::medium::Tick;
+
+/// ARQ policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArqConfig {
+    /// How long to wait for the IMD's reply after starting an attempt,
+    /// seconds. Must cover the command airtime plus `T2` plus the reply
+    /// airtime (a full exchange runs ~46 ms; the default adds margin).
+    pub reply_timeout_s: f64,
+    /// Retries after the first attempt (`0` = fire-and-forget with a
+    /// delivery verdict).
+    pub max_retries: u32,
+    /// First backoff, seconds. Attempt `k`'s timeout is followed by a
+    /// `base · 2^(k−1)` pause, capped at
+    /// [`backoff_max_s`](ArqConfig::backoff_max_s).
+    pub backoff_base_s: f64,
+    /// Backoff cap, seconds.
+    pub backoff_max_s: f64,
+    /// Sample rate used to convert the above to ticks, Hz.
+    pub fs_hz: f64,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig {
+            reply_timeout_s: 0.060,
+            max_retries: 5,
+            backoff_base_s: 0.010,
+            backoff_max_s: 0.080,
+            fs_hz: 300e3,
+        }
+    }
+}
+
+impl ArqConfig {
+    /// The same policy with retries disabled (the no-ARQ baseline arm of
+    /// the resilience experiments).
+    pub fn without_retries(mut self) -> Self {
+        self.max_retries = 0;
+        self
+    }
+
+    fn ticks(&self, seconds: f64) -> Tick {
+        ((seconds * self.fs_hz).round() as Tick).max(1)
+    }
+}
+
+/// What the driver should do this block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArqAction {
+    /// Start (re-)transmitting the command now; `attempt` is 1-based.
+    Transmit {
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// Nothing to do — awaiting a reply or backing off.
+    Wait,
+    /// The exchange completed (a reply was delivered).
+    Done,
+    /// All attempts exhausted without a reply.
+    Failed,
+}
+
+/// Counters exposed for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArqStats {
+    /// Transmission attempts started (1 on a clean exchange).
+    pub attempts: u32,
+    /// Reply timeouts observed.
+    pub timeouts: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    Awaiting { deadline: Tick, attempt: u32 },
+    BackingOff { resume: Tick, attempt: u32 },
+    Done,
+    Failed,
+}
+
+/// The stop-and-wait ARQ tracker. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ArqTracker {
+    cfg: ArqConfig,
+    state: State,
+    /// Counters for experiments.
+    pub stats: ArqStats,
+}
+
+impl ArqTracker {
+    /// A fresh tracker for one exchange.
+    pub fn new(cfg: ArqConfig) -> Self {
+        ArqTracker {
+            cfg,
+            state: State::Idle,
+            stats: ArqStats::default(),
+        }
+    }
+
+    /// The policy.
+    pub fn config(&self) -> &ArqConfig {
+        &self.cfg
+    }
+
+    /// Deterministic backoff after attempt `attempt` (1-based) timed out:
+    /// `base · 2^(attempt−1)`, capped.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(30);
+        (self.cfg.backoff_base_s * f64::powi(2.0, exp as i32)).min(self.cfg.backoff_max_s)
+    }
+
+    /// Advances the machine to `now` and returns the action to take.
+    /// Call once per block with a non-decreasing tick.
+    pub fn poll(&mut self, now: Tick) -> ArqAction {
+        match self.state {
+            State::Idle => self.start_attempt(now, 1),
+            State::Awaiting { deadline, attempt } => {
+                if now < deadline {
+                    ArqAction::Wait
+                } else {
+                    self.stats.timeouts += 1;
+                    if attempt > self.cfg.max_retries {
+                        self.state = State::Failed;
+                        ArqAction::Failed
+                    } else {
+                        let resume = now + self.cfg.ticks(self.backoff_s(attempt));
+                        self.state = State::BackingOff { resume, attempt };
+                        ArqAction::Wait
+                    }
+                }
+            }
+            State::BackingOff { resume, attempt } => {
+                if now < resume {
+                    ArqAction::Wait
+                } else {
+                    self.start_attempt(now, attempt + 1)
+                }
+            }
+            State::Done => ArqAction::Done,
+            State::Failed => ArqAction::Failed,
+        }
+    }
+
+    fn start_attempt(&mut self, now: Tick, attempt: u32) -> ArqAction {
+        self.stats.attempts = attempt;
+        self.state = State::Awaiting {
+            deadline: now + self.cfg.ticks(self.cfg.reply_timeout_s),
+            attempt,
+        };
+        ArqAction::Transmit { attempt }
+    }
+
+    /// Records a delivered reply. Accepted even while backing off (a
+    /// conservative timeout beaten by a late reply still completes the
+    /// exchange). A no-op once the machine already failed or finished.
+    pub fn on_delivered(&mut self) {
+        match self.state {
+            State::Idle | State::Awaiting { .. } | State::BackingOff { .. } => {
+                self.state = State::Done;
+            }
+            State::Done | State::Failed => {}
+        }
+    }
+
+    /// True once the exchange is over, either way.
+    pub fn finished(&self) -> bool {
+        matches!(self.state, State::Done | State::Failed)
+    }
+
+    /// True if a reply was delivered.
+    pub fn delivered(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticks(cfg: &ArqConfig, s: f64) -> Tick {
+        (s * cfg.fs_hz).round() as Tick
+    }
+
+    #[test]
+    fn clean_exchange_is_one_attempt() {
+        let cfg = ArqConfig::default();
+        let mut t = ArqTracker::new(cfg);
+        assert_eq!(t.poll(0), ArqAction::Transmit { attempt: 1 });
+        assert_eq!(t.poll(16), ArqAction::Wait);
+        t.on_delivered();
+        assert_eq!(t.poll(32), ArqAction::Done);
+        assert!(t.delivered());
+        assert_eq!(t.stats.attempts, 1);
+        assert_eq!(t.stats.timeouts, 0);
+    }
+
+    #[test]
+    fn timeout_backs_off_then_retransmits() {
+        let cfg = ArqConfig::default();
+        let mut t = ArqTracker::new(cfg);
+        assert_eq!(t.poll(0), ArqAction::Transmit { attempt: 1 });
+        let deadline = ticks(&cfg, cfg.reply_timeout_s);
+        assert_eq!(t.poll(deadline - 1), ArqAction::Wait);
+        // Deadline reached: timeout, enter backoff.
+        assert_eq!(t.poll(deadline), ArqAction::Wait);
+        assert_eq!(t.stats.timeouts, 1);
+        // Backoff elapses: attempt 2 goes out.
+        let resume = deadline + ticks(&cfg, cfg.backoff_base_s);
+        assert_eq!(t.poll(resume - 1), ArqAction::Wait);
+        assert_eq!(t.poll(resume), ArqAction::Transmit { attempt: 2 });
+        assert_eq!(t.stats.attempts, 2);
+    }
+
+    #[test]
+    fn no_retry_config_fails_after_one_timeout() {
+        let cfg = ArqConfig::default().without_retries();
+        let mut t = ArqTracker::new(cfg);
+        assert_eq!(t.poll(0), ArqAction::Transmit { attempt: 1 });
+        let deadline = ticks(&cfg, cfg.reply_timeout_s);
+        assert_eq!(t.poll(deadline), ArqAction::Failed);
+        assert!(t.finished());
+        assert!(!t.delivered());
+        assert_eq!(t.stats.attempts, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let t = ArqTracker::new(ArqConfig::default());
+        assert_eq!(t.backoff_s(1), 0.010);
+        assert_eq!(t.backoff_s(2), 0.020);
+        assert_eq!(t.backoff_s(3), 0.040);
+        assert_eq!(t.backoff_s(4), 0.080);
+        assert_eq!(t.backoff_s(5), 0.080, "capped");
+        assert_eq!(t.backoff_s(20), 0.080, "still capped");
+    }
+
+    #[test]
+    fn late_reply_during_backoff_completes() {
+        let cfg = ArqConfig::default();
+        let mut t = ArqTracker::new(cfg);
+        t.poll(0);
+        let deadline = ticks(&cfg, cfg.reply_timeout_s);
+        assert_eq!(t.poll(deadline), ArqAction::Wait); // backing off
+        t.on_delivered();
+        assert_eq!(t.poll(deadline + 1), ArqAction::Done);
+        assert_eq!(t.stats.attempts, 1);
+        assert_eq!(t.stats.timeouts, 1);
+    }
+}

@@ -42,6 +42,13 @@ pub struct ImdStats {
     pub crc_failures: u64,
     /// Valid frames addressed to some other device (ignored).
     pub foreign_frames: u64,
+    /// Commands whose payload was identical to the previous executed
+    /// command's. Real ICDs execute duplicates blindly (there is no
+    /// transaction layer); under link-layer retries every re-delivered
+    /// command after a lost *reply* lands here — the degraded outcome
+    /// (extra executions, extra battery) the resilience experiments
+    /// quantify.
+    pub duplicate_commands: u64,
 }
 
 /// Ground-truth record of one transmitted frame (omniscient experiment
@@ -66,6 +73,8 @@ pub struct ImdDevice {
     patient: PatientRecord,
     battery: Battery,
     seq: u8,
+    /// Payload of the last executed command (duplicate detection).
+    last_cmd_payload: Option<Vec<u8>>,
     /// Reusable silence block fed to the detector while transmitting.
     silence: Vec<C64>,
     rng: StdRng,
@@ -92,6 +101,7 @@ impl ImdDevice {
             patient: PatientRecord::demo(),
             battery: Battery::typical_icd(),
             seq: 0,
+            last_cmd_payload: None,
             silence: Vec::new(),
             rng,
             stats: ImdStats::default(),
@@ -128,6 +138,24 @@ impl ImdDevice {
     /// Resets therapy to nominal (between experiment repetitions).
     pub fn reset_therapy(&mut self) {
         self.therapy = TherapyParams::nominal();
+    }
+
+    /// True while the device's transmitter is on at `tick`.
+    pub fn transmitting(&self, tick: u64) -> bool {
+        self.tx.busy_at(tick)
+    }
+
+    /// Moves the device to a new MICS channel (the §2 rescan outcome: in a
+    /// real deployment the programmer re-establishes the session on a
+    /// clean channel and the implant follows). The frame detector's state
+    /// is cleared but its sample clock keeps running, so reply timing
+    /// stays consistent with the medium.
+    pub fn retune(&mut self, channel: usize) {
+        if channel == self.cfg.channel {
+            return;
+        }
+        self.cfg.channel = channel;
+        self.detector.reset();
     }
 
     /// Executes a parsed command against device state, producing the reply.
@@ -187,6 +215,10 @@ impl ImdDevice {
             return;
         };
         self.stats.commands_executed += 1;
+        if self.last_cmd_payload.as_deref() == Some(&frame.payload[..]) {
+            self.stats.duplicate_commands += 1;
+        }
+        self.last_cmd_payload = Some(frame.payload.clone());
         let response = self.execute(cmd);
 
         // Build and schedule the reply. Per Fig. 3 the reply starts a

@@ -13,10 +13,13 @@
 //! * [`telemetry`] — patient record and synthetic ECG (the privacy target).
 //! * [`battery`] — energy model for the battery-depletion attack.
 //! * [`commands`] — the command/response wire protocol.
+//! * [`arq`] — link-layer exchange tracking: reply timeout, bounded
+//!   retries, deterministic backoff (the resilience machinery).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arq;
 pub mod battery;
 pub mod commands;
 pub mod device;
@@ -25,6 +28,7 @@ pub mod programmer;
 pub mod telemetry;
 pub mod therapy;
 
+pub use arq::{ArqAction, ArqConfig, ArqStats, ArqTracker};
 pub use commands::{Command, Response};
 pub use device::{ImdDevice, ImdStats};
 pub use models::ImdConfig;

@@ -1,0 +1,130 @@
+//! Property tests for the link-layer ARQ tracker.
+//!
+//! The tracker is a pure state machine, so its contracts can be checked
+//! exhaustively against arbitrary policies and poll schedules: the retry
+//! budget is never exceeded, backoff is monotone and capped, transmit
+//! times are properly spaced, and delivery is terminal.
+
+use hb_imd::arq::{ArqAction, ArqConfig, ArqTracker};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ArqConfig> {
+    (
+        0.001f64..0.2,  // reply_timeout_s
+        0u32..8,        // max_retries
+        0.001f64..0.05, // backoff_base_s
+        0.001f64..0.2,  // backoff_max_s
+    )
+        .prop_map(|(timeout, retries, base, cap)| ArqConfig {
+            reply_timeout_s: timeout,
+            max_retries: retries,
+            backoff_base_s: base,
+            backoff_max_s: cap,
+            fs_hz: 300e3,
+        })
+}
+
+/// Drives the tracker with polls every `step` ticks until it finishes
+/// (or a safety bound), returning the ticks of every Transmit action.
+fn run_to_completion(cfg: ArqConfig, step: u64) -> (ArqTracker, Vec<u64>) {
+    let mut t = ArqTracker::new(cfg);
+    let mut transmits = Vec::new();
+    let mut now = 0u64;
+    // Worst case: (retries+1) × (timeout + capped backoff), generously padded.
+    let bound = (cfg.max_retries as u64 + 2)
+        * (((cfg.reply_timeout_s + cfg.backoff_max_s + cfg.backoff_base_s) * cfg.fs_hz) as u64
+            + 2 * step);
+    while !t.finished() && now <= bound {
+        if let ArqAction::Transmit { .. } = t.poll(now) {
+            transmits.push(now);
+        }
+        now += step;
+    }
+    (t, transmits)
+}
+
+proptest! {
+    /// Without a reply, the tracker transmits exactly `max_retries + 1`
+    /// times, then fails and stays failed.
+    #[test]
+    fn attempts_never_exceed_budget(cfg in arb_config(), step in 1u64..512) {
+        let (mut t, transmits) = run_to_completion(cfg, step);
+        prop_assert!(t.finished(), "tracker must terminate without replies");
+        prop_assert!(!t.delivered());
+        prop_assert_eq!(transmits.len() as u32, cfg.max_retries + 1);
+        prop_assert_eq!(t.stats.attempts, cfg.max_retries + 1);
+        // Failed is absorbing: further polls never transmit again.
+        let late = transmits.last().unwrap() + 1_000_000;
+        prop_assert_eq!(t.poll(late), ArqAction::Failed);
+        prop_assert_eq!(t.stats.attempts, cfg.max_retries + 1);
+    }
+
+    /// Consecutive transmits are separated by at least the reply timeout
+    /// (the attempt must fully time out before a retry can start).
+    #[test]
+    fn retransmits_wait_out_the_timeout(cfg in arb_config(), step in 1u64..512) {
+        let (_, transmits) = run_to_completion(cfg, step);
+        let timeout_ticks = ((cfg.reply_timeout_s * cfg.fs_hz).round() as u64).max(1);
+        for pair in transmits.windows(2) {
+            prop_assert!(
+                pair[1] - pair[0] >= timeout_ticks,
+                "retransmit after {} ticks, timeout is {}",
+                pair[1] - pair[0],
+                timeout_ticks
+            );
+        }
+    }
+
+    /// Backoff is monotone non-decreasing in the attempt number and never
+    /// exceeds the cap (nor drops below the base unless capped under it).
+    #[test]
+    fn backoff_is_monotone_and_capped(cfg in arb_config()) {
+        let t = ArqTracker::new(cfg);
+        let cap = cfg.backoff_max_s;
+        let mut prev = 0.0f64;
+        for attempt in 1..=32u32 {
+            let b = t.backoff_s(attempt);
+            prop_assert!(b >= prev, "backoff must not shrink: {} < {}", b, prev);
+            prop_assert!(b <= cap + 1e-12, "backoff {} exceeds cap {}", b, cap);
+            prop_assert!(b >= cfg.backoff_base_s.min(cap) - 1e-12);
+            prev = b;
+        }
+    }
+
+    /// A reply delivered at any point makes Done absorbing: no transmit
+    /// ever follows, and the attempt count is frozen.
+    #[test]
+    fn delivery_is_terminal(
+        cfg in arb_config(),
+        step in 1u64..512,
+        deliver_after_polls in 0usize..64,
+    ) {
+        let mut t = ArqTracker::new(cfg);
+        let mut now = 0u64;
+        for _ in 0..deliver_after_polls {
+            if t.finished() {
+                break;
+            }
+            t.poll(now);
+            now += step;
+        }
+        let failed_already = t.finished() && !t.delivered();
+        t.on_delivered();
+        let attempts_at_delivery = t.stats.attempts;
+        if failed_already {
+            // Delivery after exhaustion must not resurrect the exchange.
+            prop_assert!(!t.delivered());
+        } else {
+            prop_assert!(t.delivered());
+        }
+        for _ in 0..16 {
+            let action = t.poll(now);
+            prop_assert!(
+                !matches!(action, ArqAction::Transmit { .. }),
+                "no transmissions after the exchange ended"
+            );
+            now += step;
+        }
+        prop_assert_eq!(t.stats.attempts, attempts_at_delivery);
+    }
+}

@@ -83,6 +83,23 @@ impl SessionNegotiator {
         }
     }
 
+    /// Starts mid-session: already established on `channel` with a clean
+    /// interference clock. Used by drivers that join a session negotiated
+    /// elsewhere (e.g. a scenario built directly on its session channel)
+    /// and only need the maintenance half of the machine — ride out
+    /// transient interference, abandon and rescan when it persists.
+    pub fn established_on(cfg: SessionConfig, channel: MicsChannel) -> Self {
+        SessionNegotiator {
+            cfg,
+            state: SessionState::Established {
+                channel,
+                interference_s: 0.0,
+            },
+            sessions_established: 1,
+            interference_moves: 0,
+        }
+    }
+
     /// Current state.
     pub fn state(&self) -> &SessionState {
         &self.state
@@ -236,6 +253,66 @@ mod tests {
             n.observe(busy(), 1e-3);
         }
         assert!(n.established());
+    }
+
+    #[test]
+    fn interference_clock_resets_on_reacquisition() {
+        // After persistent interference forces a move and a new channel is
+        // acquired, the interference accumulator must start from zero on
+        // the new channel — the 49 ms carried over from the old channel
+        // must not count against the new one.
+        let mut n = SessionNegotiator::new(SessionConfig::default());
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3);
+        }
+        for _ in 0..50 {
+            n.observe(busy(), 1e-3); // forces the move off channel 0
+        }
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3); // LBT clears channel 1
+        }
+        assert!(n.established());
+        assert_eq!(n.current_channel(), Some(MicsChannel(1)));
+        // 49 ms of interference on the fresh channel: below tolerance, so
+        // the session must hold. Only a stale accumulator would move.
+        for _ in 0..49 {
+            n.observe(busy(), 1e-3);
+        }
+        assert!(
+            n.established(),
+            "interference accumulator must reset on re-acquisition"
+        );
+        assert_eq!(n.interference_moves, 1);
+    }
+
+    #[test]
+    fn band_busy_then_rescan_recovers_mid_session() {
+        // A session driver that hits BandBusy keeps rescanning; once any
+        // channel frees up the pair re-establishes and the maintenance
+        // logic runs with a clean clock.
+        let mut n = SessionNegotiator::established_on(SessionConfig::default(), MicsChannel(3));
+        assert!(n.established());
+        assert_eq!(n.current_channel(), Some(MicsChannel(3)));
+        assert_eq!(n.sessions_established, 1);
+        // Persistent interference, then every channel busy.
+        for _ in 0..50 {
+            n.observe(busy(), 1e-3);
+        }
+        assert!(!n.established());
+        for _ in 0..N_CHANNELS {
+            n.observe(busy(), 1e-3);
+        }
+        assert!(matches!(n.state(), SessionState::BandBusy));
+        // Observations while BandBusy are inert; the driver must rescan.
+        n.observe(quiet(), 1e-3);
+        assert!(matches!(n.state(), SessionState::BandBusy));
+        n.rescan();
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3);
+        }
+        assert!(n.established());
+        assert_eq!(n.sessions_established, 2);
+        assert_eq!(n.interference_moves, 1);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`ward`] | Extension: two shielded patients in one ward |
 //! | [`hospital`] | Extension: 50 shielded patients (100 devices) on one hospital floor |
 //! | [`mobile`] | Extension: adversary walking a path through the layout |
+//! | [`resilience`] | Extension: resilience matrix — ARQ + session recovery vs channel faults |
 
 pub mod ablation;
 pub mod battery;
@@ -40,6 +41,7 @@ pub mod fig9;
 pub mod hospital;
 pub mod mobile;
 pub mod registry;
+pub mod resilience;
 pub mod table1;
 pub mod table2;
 pub mod ward;
@@ -129,20 +131,33 @@ pub fn test_seed(default: u64) -> u64 {
 /// Drives one shield-relayed exchange: queues `cmd` on the shield, then
 /// runs until the jam window closes (one command + reply + guard time).
 ///
-/// Returns the number of blocks run.
-pub fn relay_one_exchange(
+/// Returns the number of blocks run, or
+/// [`ExchangeError::NoShield`](crate::recovery::ExchangeError::NoShield)
+/// when the scenario has no relay path — misconfiguration is an error
+/// for the caller to surface, not a panic.
+pub fn try_relay_one_exchange(
     scenario: &mut Scenario,
     extra: &mut [&mut dyn Node],
     cmd: Command,
-) -> u64 {
+) -> Result<u64, crate::recovery::ExchangeError> {
     let shield = scenario
         .shield
         .as_mut()
-        .expect("relay_one_exchange needs a shield");
+        .ok_or(crate::recovery::ExchangeError::NoShield)?;
     shield.queue_command(cmd);
     // Command (20.5 ms) + T2 (3.7 ms) + reply (≤21 ms) + jam-window tail
     // and margin: 60 ms covers the full exchange comfortably.
     let blocks = scenario.medium.blocks_for_duration(0.060);
     scenario.run_blocks(extra, blocks);
-    blocks
+    Ok(blocks)
+}
+
+/// [`try_relay_one_exchange`] for callers that just built a shielded
+/// scenario; panics if the shield is missing.
+pub fn relay_one_exchange(
+    scenario: &mut Scenario,
+    extra: &mut [&mut dyn Node],
+    cmd: Command,
+) -> u64 {
+    try_relay_one_exchange(scenario, extra, cmd).expect("relay_one_exchange needs a shield")
 }

@@ -23,7 +23,7 @@
 
 use super::{ablation, battery, fig10, fig11, fig12, fig13};
 use super::{fig3, fig4, fig5, fig7, fig8, fig9};
-use super::{hospital, mobile, table1, table2, ward, Effort};
+use super::{hospital, mobile, resilience, table1, table2, ward, Effort};
 use crate::checkpoint::{self, RunCtl, RunHealth};
 use crate::report::Artifact;
 use std::sync::Arc;
@@ -102,6 +102,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &hospital::HospitalFloorExperiment,
     &mobile::MobileExperiment,
     &crate::crosstraffic::CrossTrafficExperiment,
+    &resilience::ResilienceExperiment,
 ];
 
 /// The full registry, in canonical order.
@@ -181,6 +182,6 @@ mod tests {
         let names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
         assert_eq!(&names[..3], &["fig3", "fig4", "fig5"]);
         assert_eq!(names[10], "table1");
-        assert_eq!(*names.last().unwrap(), "crosstraffic");
+        assert_eq!(*names.last().unwrap(), "resilience-matrix");
     }
 }

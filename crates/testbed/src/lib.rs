@@ -8,6 +8,9 @@
 //! * [`experiments`] — one module per table/figure, plus ablations and
 //!   extension scenarios, all behind the
 //!   [`experiments::registry::Experiment`] trait and its static registry.
+//! * [`recovery`] — the adversity-hardened exchange driver: link-layer
+//!   ARQ (timeout/backoff/bounded retries) plus live MICS session
+//!   recovery onto a clean channel under persistent interference.
 //! * [`montecarlo`] — the adaptive sampling engine: grows trial counts in
 //!   deterministic rounds until Wilson/bootstrap confidence intervals hit
 //!   a target half-width (the statistical experiments ride it).
@@ -26,6 +29,7 @@ pub mod experiments;
 pub mod layout;
 pub mod montecarlo;
 pub mod parallel;
+pub mod recovery;
 pub mod report;
 pub mod scenario;
 
@@ -35,4 +39,5 @@ pub use experiments::Effort;
 pub use layout::Fig6Layout;
 pub use montecarlo::{Estimate, McConfig};
 pub use parallel::threads as parallel_threads;
+pub use recovery::{run_arq_exchange, ExchangeError, ExchangeOutcome};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioConfig};

@@ -1,0 +1,280 @@
+//! Adversity-hardened exchange driver: link-layer ARQ over the shield's
+//! relay path, with live MICS session recovery.
+//!
+//! [`run_arq_exchange`] is the resilient counterpart of
+//! [`relay_one_exchange`](crate::experiments::relay_one_exchange): instead
+//! of firing one command and hoping, it runs an [`ArqTracker`] (reply
+//! timeout → deterministic backoff → bounded retries) and, alongside it, a
+//! [`SessionNegotiator`] fed with per-block level observations at the
+//! shield's receive antenna. Persistent interference — an impulse-noise
+//! storm parked on the session channel, say — trips the negotiator into a
+//! rescan; when listen-before-talk clears a fresh channel, the driver
+//! retunes the shield *and* the implant onto it and the ARQ machinery
+//! carries the exchange to completion there.
+//!
+//! The driver adds no RNG of its own and leaves the medium's main stream
+//! order untouched on the session channel (observations reuse the block's
+//! cached receive view); runs are bit-reproducible for a given scenario
+//! seed and fault plan.
+
+use crate::scenario::Scenario;
+use hb_channel::sim::Node;
+use hb_dsp::units::db_from_ratio;
+use hb_imd::arq::{ArqAction, ArqConfig, ArqTracker};
+use hb_imd::commands::Command;
+use hb_mics::band::MicsChannel;
+use hb_mics::session::{SessionConfig, SessionNegotiator, SessionState};
+
+/// Why a resilient exchange could not run or did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// The scenario has no shield — there is no relay path to harden.
+    NoShield,
+    /// Every retry timed out; `attempts` transmissions went unanswered.
+    Exhausted {
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::NoShield => write!(f, "scenario has no shield to relay through"),
+            ExchangeError::Exhausted { attempts } => {
+                write!(f, "exchange failed: all {attempts} attempts timed out")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+/// Outcome of a delivered resilient exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeOutcome {
+    /// Transmission attempts used (1 on a clean exchange).
+    pub attempts: u32,
+    /// Reply timeouts ridden out along the way.
+    pub timeouts: u32,
+    /// Session-channel changes forced by persistent interference.
+    pub channel_moves: u64,
+    /// Full band-busy scans that had to be restarted.
+    pub band_busy_rescans: u64,
+    /// Blocks simulated before the reply landed.
+    pub blocks: u64,
+    /// The channel the exchange finally completed on.
+    pub final_channel: usize,
+}
+
+/// Runs one command exchange under ARQ with session recovery.
+///
+/// Per block, in order: the ARQ tracker is polled (a `Transmit` action
+/// queues the command on the shield unless a copy is already pending or on
+/// the air); the scenario advances one standard two-phase block; the
+/// negotiator observes the shield-side channel level (skipped while the
+/// shield or implant is transmitting or the shield is jamming — their own
+/// energy is not interference); any newly decoded IMD reply completes the
+/// tracker. When the negotiator re-establishes on a different channel,
+/// shield and implant are retuned onto it mid-run.
+///
+/// Returns the outcome once the reply is delivered, or
+/// [`ExchangeError::Exhausted`] after the retry budget is spent. The
+/// budget in [`ArqConfig`] bounds the run: this function always
+/// terminates.
+pub fn run_arq_exchange(
+    scenario: &mut Scenario,
+    extra: &mut [&mut dyn Node],
+    cmd: Command,
+    arq_cfg: ArqConfig,
+    session_cfg: SessionConfig,
+) -> Result<ExchangeOutcome, ExchangeError> {
+    if scenario.shield.is_none() {
+        return Err(ExchangeError::NoShield);
+    }
+    let start_channel = scenario.channel();
+    let mut arq = ArqTracker::new(arq_cfg);
+    let mut negotiator = SessionNegotiator::established_on(session_cfg, MicsChannel(start_channel));
+    let block_s = scenario.medium.config().block_len as f64 / scenario.medium.config().fs_hz;
+    let mut session_channel = start_channel;
+    let mut band_busy_rescans = 0u64;
+    let mut blocks = 0u64;
+
+    loop {
+        let tick = scenario.medium.tick();
+
+        // 1. ARQ: polled every block so the retry budget keeps burning
+        // even while the session is down — an exchange that cannot find a
+        // usable channel must *fail*, not spin. The command itself is
+        // only queued while a session channel is held (a retransmission
+        // into a rescan would be wasted heat); a budgeted attempt with
+        // nothing on the air simply times out.
+        match arq.poll(tick) {
+            ArqAction::Transmit { .. } => {
+                if negotiator.established() {
+                    let shield = scenario.shield.as_mut().expect("checked above");
+                    if shield.pending_commands() == 0 && !shield.transmitting() {
+                        shield.queue_command(cmd);
+                    }
+                }
+            }
+            ArqAction::Wait => {}
+            ArqAction::Done => {
+                return Ok(ExchangeOutcome {
+                    attempts: arq.stats.attempts,
+                    timeouts: arq.stats.timeouts,
+                    channel_moves: negotiator.interference_moves,
+                    band_busy_rescans,
+                    blocks,
+                    final_channel: session_channel,
+                });
+            }
+            ArqAction::Failed => {
+                return Err(ExchangeError::Exhausted {
+                    attempts: arq.stats.attempts,
+                });
+            }
+        }
+
+        // 2. One standard two-phase block, with session maintenance run
+        // after every device has consumed but before the block ends (the
+        // one window where this block's receive view is readable; views
+        // the devices already read come from the cache, so the main noise
+        // stream is identical to an unobserved run on those channels).
+        let mut delivered = false;
+        scenario.run_block_with(extra, |s| {
+            let shield = s.shield.as_mut().expect("checked above");
+
+            // 3. Feed the negotiator the shield-side level on its current
+            // channel — unless the energy there is our own.
+            match negotiator.current_channel() {
+                Some(ch) => {
+                    // Own transmissions and the protocol's own reply-window
+                    // jamming are not interference; an *active* engagement
+                    // is foreign-energy-triggered and must be observed —
+                    // it is the stimulus that drives the channel change.
+                    let own_energy = shield.transmitting()
+                        || shield.passive_jamming_on(ch.0, tick)
+                        || s.imd.transmitting(tick);
+                    if !own_energy {
+                        let view = s.medium.receive_view(shield.rx_antenna(), ch.0);
+                        let mean_mw = view.iter().map(|c| c.norm_sq()).sum::<f64>()
+                            / view.len().max(1) as f64;
+                        negotiator.observe(db_from_ratio(mean_mw), block_s);
+                    }
+                }
+                None => {
+                    // Whole band busy: keep rescanning until something
+                    // frees up.
+                    band_busy_rescans += 1;
+                    negotiator.rescan();
+                }
+            }
+
+            // 4. Follow the negotiator onto a newly acquired channel.
+            if let SessionState::Established { channel, .. } = *negotiator.state() {
+                if channel.0 != session_channel {
+                    shield.retune(channel.0, tick);
+                    s.imd.retune(channel.0);
+                    session_channel = channel.0;
+                }
+            }
+
+            // 5. A decoded reply completes the exchange (reported on the
+            // next poll so stats stay consistent).
+            delivered = !shield.take_responses().is_empty();
+        });
+        blocks += 1;
+        if delivered {
+            arq.on_delivered();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioBuilder, ScenarioConfig};
+    use hb_channel::fault::FaultPlan;
+
+    fn outcome(cfg: ScenarioConfig) -> Result<ExchangeOutcome, ExchangeError> {
+        let mut s = ScenarioBuilder::new(cfg).build();
+        run_arq_exchange(
+            &mut s,
+            &mut [],
+            Command::Interrogate,
+            ArqConfig::default(),
+            SessionConfig::default(),
+        )
+    }
+
+    #[test]
+    fn clean_channel_delivers_first_try() {
+        let out = outcome(ScenarioConfig::paper(41)).expect("clean exchange must deliver");
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.timeouts, 0);
+        assert_eq!(out.channel_moves, 0);
+        assert_eq!(out.final_channel, 0);
+    }
+
+    #[test]
+    fn no_shield_is_an_error_not_a_panic() {
+        let err = outcome(ScenarioConfig::paper_no_shield(41)).unwrap_err();
+        assert_eq!(err, ExchangeError::NoShield);
+        assert!(err.to_string().contains("no shield"));
+    }
+
+    #[test]
+    fn storm_on_session_channel_forces_move_and_delivery() {
+        // A permanent impulse-noise storm parked on channel 0 (and only
+        // channel 0): the negotiator must abandon it, LBT must clear a
+        // quiet channel, and the exchange must complete there.
+        let mut cfg = ScenarioConfig::paper(43);
+        cfg.fault = FaultPlan {
+            storm_start_prob: 1.0,
+            storm_len_blocks: u32::MAX,
+            storm_power_dbm: -60.0,
+            storm_channel_mask: 1, // channel 0 only
+            ..FaultPlan::none()
+        };
+        let out = outcome(cfg).expect("exchange must recover onto a clean channel");
+        assert!(out.channel_moves >= 1, "storm must force a channel change");
+        assert_ne!(
+            out.final_channel, 0,
+            "must not finish on the stormy channel"
+        );
+        assert!(
+            out.timeouts >= 1,
+            "the storm must cost at least one attempt"
+        );
+    }
+
+    #[test]
+    fn retry_budget_bounds_the_run() {
+        // Storm over the whole band: nothing to move to, every attempt
+        // times out, and the driver must terminate with Exhausted rather
+        // than loop forever.
+        let mut cfg = ScenarioConfig::paper(47);
+        cfg.fault = FaultPlan {
+            storm_start_prob: 1.0,
+            storm_len_blocks: u32::MAX,
+            storm_power_dbm: -50.0,
+            storm_channel_mask: u16::MAX,
+            ..FaultPlan::none()
+        };
+        let arq = ArqConfig {
+            max_retries: 2,
+            ..ArqConfig::default()
+        };
+        let mut s = ScenarioBuilder::new(cfg).build();
+        let err = run_arq_exchange(
+            &mut s,
+            &mut [],
+            Command::Interrogate,
+            arq,
+            SessionConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExchangeError::Exhausted { attempts: 3 });
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::layout::Fig6Layout;
 use hb_channel::fading::Fading;
+use hb_channel::fault::FaultPlan;
 use hb_channel::geometry::Placement;
 use hb_channel::medium::{AntennaId, Medium, MediumConfig};
 use hb_channel::pathloss::PathlossModel;
@@ -75,6 +76,11 @@ pub struct ScenarioConfig {
     /// ward-scale experiments set a finite margin so the O(n²) pair walk
     /// only touches audible links.
     pub cull_margin_db: f64,
+    /// Deterministic channel-fault plan. The dropout/storm fields are
+    /// forwarded to the medium; the shield-outage fields are forwarded to
+    /// every installed shield's [`ShieldConfig::outage`]. The default
+    /// ([`FaultPlan::none`]) is bit-identical to a fault-free build.
+    pub fault: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -92,6 +98,7 @@ impl ScenarioConfig {
             jam_margin_db: None,
             shield_body_coupling_db: 21.0,
             cull_margin_db: f64::NEG_INFINITY,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -156,6 +163,7 @@ impl ScenarioBuilder {
         let layout = Fig6Layout::paper();
         let medium_cfg = MediumConfig {
             cull_margin_db: cfg.cull_margin_db,
+            fault: cfg.fault,
             ..MediumConfig::default()
         };
         let mut medium = Medium::new(medium_cfg, rng.gen());
@@ -293,6 +301,13 @@ fn install_shield(
     if let Some(margin) = cfg.jam_margin_db {
         scfg.jam_margin_db = margin;
     }
+    if cfg.fault.has_outages() {
+        scfg.outage = Some(hb_shield::shield::OutageSchedule {
+            start_s: cfg.fault.outage_start_s,
+            len_s: cfg.fault.outage_len_s,
+            period_s: cfg.fault.outage_period_s,
+        });
+    }
     if let Some(tweak) = cfg.shield_tweak {
         tweak(&mut scfg);
     }
@@ -313,30 +328,42 @@ impl Scenario {
     /// order.
     pub fn run_blocks(&mut self, extra: &mut [&mut dyn Node], blocks: u64) {
         for _ in 0..blocks {
-            self.imd.produce(&mut self.medium);
-            if let Some(shield) = self.shield.as_mut() {
-                shield.produce(&mut self.medium);
-            }
-            for p in self.patients.iter_mut() {
-                p.imd.produce(&mut self.medium);
-                p.shield.produce(&mut self.medium);
-            }
-            for n in extra.iter_mut() {
-                n.produce(&mut self.medium);
-            }
-            self.imd.consume(&mut self.medium);
-            if let Some(shield) = self.shield.as_mut() {
-                shield.consume(&mut self.medium);
-            }
-            for p in self.patients.iter_mut() {
-                p.imd.consume(&mut self.medium);
-                p.shield.consume(&mut self.medium);
-            }
-            for n in extra.iter_mut() {
-                n.consume(&mut self.medium);
-            }
-            self.medium.end_block();
+            self.run_block_with(extra, |_| {});
         }
+    }
+
+    /// Runs one block in the standard two-phase order, invoking `observe`
+    /// after every device has consumed but *before* the block ends —
+    /// the only point where a supervisor (e.g. the session-recovery
+    /// driver in [`crate::recovery`]) may read this block's
+    /// [`Medium::receive_view`]: staging freezes at the first receive, so
+    /// observing any earlier would forbid the block's transmissions, and
+    /// any later reads the next block.
+    pub fn run_block_with(&mut self, extra: &mut [&mut dyn Node], observe: impl FnOnce(&mut Self)) {
+        self.imd.produce(&mut self.medium);
+        if let Some(shield) = self.shield.as_mut() {
+            shield.produce(&mut self.medium);
+        }
+        for p in self.patients.iter_mut() {
+            p.imd.produce(&mut self.medium);
+            p.shield.produce(&mut self.medium);
+        }
+        for n in extra.iter_mut() {
+            n.produce(&mut self.medium);
+        }
+        self.imd.consume(&mut self.medium);
+        if let Some(shield) = self.shield.as_mut() {
+            shield.consume(&mut self.medium);
+        }
+        for p in self.patients.iter_mut() {
+            p.imd.consume(&mut self.medium);
+            p.shield.consume(&mut self.medium);
+        }
+        for n in extra.iter_mut() {
+            n.consume(&mut self.medium);
+        }
+        observe(self);
+        self.medium.end_block();
     }
 
     /// Runs for at least `seconds` of simulated time.

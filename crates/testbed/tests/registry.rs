@@ -31,6 +31,7 @@ const EXPECTED: &[&str] = &[
     "ward-hospital-floor",
     "mobile-adversary",
     "crosstraffic",
+    "resilience-matrix",
 ];
 
 fn is_kebab_case(s: &str) -> bool {
