@@ -88,6 +88,18 @@ impl Eavesdropper {
         Some(self.modem.demodulate(&self.recording[from..to]))
     }
 
+    /// Attempts full frame recovery from a perfectly-aligned decode of a
+    /// known transmission: demodulates `n_bits` starting at `start_tick`
+    /// and parses them as a frame (CRC checked). `None` when the samples
+    /// are unbuffered or the bits no longer form a valid frame — the
+    /// leak-or-not ground truth behind the defense matrix's
+    /// confidentiality metric, which asks whether the adversary walks
+    /// away with the payload *bytes*, not merely a favourable BER.
+    pub fn recover_frame(&self, start_tick: Tick, n_bits: usize) -> Option<hb_phy::packet::Frame> {
+        let bits = self.decode_aligned(start_tick, n_bits)?;
+        hb_phy::packet::Frame::from_bits(&bits).ok()
+    }
+
     /// BER of the eavesdropper's decode of a transmission against the
     /// ground-truth bits. Returns 0.5 (guessing) if the samples are not
     /// available.

@@ -432,6 +432,29 @@ fn main() {
             std::hint::black_box(out.map(|o| o.blocks).unwrap_or(0));
         },
     ));
+    timings.push(time_kernel(
+        "defense_matrix_tiny",
+        "one clean defended exchange per defense (shield, imdfence, wakeup-radio)",
+        2 * scale,
+        || {
+            use hb_testbed::defense::{run_defended_exchange, DEFENSES};
+            for defense in DEFENSES {
+                let mut cfg = ScenarioConfig::paper(9);
+                defense.configure(&mut cfg);
+                let mut builder = ScenarioBuilder::new(cfg);
+                let mut rig = defense.install(&mut builder);
+                let mut scenario = builder.build();
+                let report = run_defended_exchange(
+                    &mut scenario,
+                    &mut rig,
+                    &mut [],
+                    Command::Interrogate,
+                    0.120,
+                );
+                std::hint::black_box(report.delivered);
+            }
+        },
+    ));
     if quick {
         timings.push(time_kernel(
             "fig9_one_location",

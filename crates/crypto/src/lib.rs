@@ -10,6 +10,9 @@
 //! * [`aead`] — the ChaCha20-Poly1305 AEAD construction.
 //! * [`session`] — pre-shared-key sessions with per-direction nonces and
 //!   replay rejection.
+//! * [`micro`] — compact sealing (4-byte overhead, truncated tag) that
+//!   fits inside the 10-byte MICS frame payload, plus the key-derivation
+//!   helper behind per-session keys and wake tokens.
 //!
 //! Scope note: this is a faithful, tested implementation intended for the
 //! simulation; it has not been side-channel hardened for production use on
@@ -20,8 +23,10 @@
 
 pub mod aead;
 pub mod chacha20;
+pub mod micro;
 pub mod poly1305;
 pub mod session;
 
 pub use aead::{open, seal, AuthError};
+pub use micro::{derive_key, MicroError, MicroSession};
 pub use session::{SecureSession, SessionError};

@@ -15,9 +15,11 @@
 
 use crate::battery::Battery;
 use crate::commands::{Command, Response};
-use crate::models::ImdConfig;
+use crate::fence::{self, FenceState};
+use crate::models::{ImdConfig, SecurityMode};
 use crate::telemetry::{EcgGenerator, PatientRecord};
 use crate::therapy::TherapyParams;
+use crate::wakeup::{self, WakeGate};
 use hb_channel::medium::{AntennaId, Medium};
 use hb_channel::sim::Node;
 use hb_channel::txsched::TxScheduler;
@@ -49,6 +51,15 @@ pub struct ImdStats {
     /// (extra executions, extra battery) the resilience experiments
     /// quantify.
     pub duplicate_commands: u64,
+    /// Addressed frames refused by the authenticated-session layer
+    /// (plaintext commands, bad tags, replays, stale HELLOs). Always 0
+    /// in [`SecurityMode::Open`].
+    pub auth_rejects: u64,
+    /// Authentic wake tokens that opened (or refreshed) the wake gate.
+    pub wake_tokens_accepted: u64,
+    /// Frame events that arrived while the wake gate kept the main radio
+    /// off — decoded by nobody, answered by nobody, at zero energy cost.
+    pub wake_dropped: u64,
 }
 
 /// Ground-truth record of one transmitted frame (omniscient experiment
@@ -60,6 +71,11 @@ pub struct TxRecord {
     pub start_tick: u64,
     /// The frame's on-air bits.
     pub bits: Vec<u8>,
+    /// Logical plaintext payload of the reply — the ground truth for
+    /// confidentiality metrics. Equals the on-air payload in
+    /// [`SecurityMode::Open`]; under an authenticated session the air
+    /// carries the sealed form and this field holds what it protects.
+    pub payload: Vec<u8>,
 }
 
 /// The IMD device model. See the module docs.
@@ -77,6 +93,10 @@ pub struct ImdDevice {
     last_cmd_payload: Option<Vec<u8>>,
     /// Reusable silence block fed to the detector while transmitting.
     silence: Vec<C64>,
+    /// Authenticated-session state (`None` in [`SecurityMode::Open`]).
+    fence: Option<FenceState>,
+    /// Wake-up gate (`None` on stock devices).
+    gate: Option<WakeGate>,
     rng: StdRng,
     /// Public experiment counters.
     pub stats: ImdStats,
@@ -91,6 +111,14 @@ impl ImdDevice {
     pub fn new(cfg: ImdConfig, antenna: AntennaId, rng: StdRng) -> Self {
         let modem = FskModem::new(cfg.fsk);
         let detector = StreamingDetector::new(cfg.fsk, 4);
+        let fence = match &cfg.security {
+            SecurityMode::Open => None,
+            SecurityMode::Authenticated { key } => Some(FenceState::new(*key)),
+        };
+        let gate = cfg
+            .wake
+            .clone()
+            .map(|w| WakeGate::new(w, cfg.serial, cfg.fsk.fs_hz));
         ImdDevice {
             cfg,
             antenna,
@@ -103,6 +131,8 @@ impl ImdDevice {
             seq: 0,
             last_cmd_payload: None,
             silence: Vec::new(),
+            fence,
+            gate,
             rng,
             stats: ImdStats::default(),
             tx_log: Vec::new(),
@@ -197,6 +227,27 @@ impl ImdDevice {
         else {
             return;
         };
+
+        // Wake gate, closed: the main radio is off. The zero-power wake
+        // receiver matches authenticated tokens addressed to this device
+        // and nothing else — no CRC bookkeeping, no command decode, no
+        // reply, no transmit energy.
+        if let Some(gate) = self.gate.as_mut() {
+            if !gate.awake(end_tick) {
+                if let Ok(frame) = &result {
+                    if frame.serial == self.cfg.serial
+                        && frame.frame_type == FrameType::Command
+                        && gate.try_wake(&frame.payload, end_tick)
+                    {
+                        self.stats.wake_tokens_accepted += 1;
+                        return;
+                    }
+                }
+                self.stats.wake_dropped += 1;
+                return;
+            }
+        }
+
         let frame = match result {
             Ok(f) => f,
             Err(_) => {
@@ -211,32 +262,94 @@ impl ImdDevice {
         if frame.frame_type != FrameType::Command {
             return;
         }
-        let Some(cmd) = Command::from_payload(&frame.payload) else {
+
+        // Wake tokens are gate traffic even while awake (they refresh the
+        // window); never a command. Stock firmware has no gate and falls
+        // through to the opcode parse, which rejects 0x40 as unknown —
+        // identical outward behaviour.
+        if wakeup::is_wake_payload(&frame.payload) {
+            if let Some(gate) = self.gate.as_mut() {
+                if gate.try_wake(&frame.payload, end_tick) {
+                    self.stats.wake_tokens_accepted += 1;
+                }
+            }
+            return;
+        }
+
+        // Authenticated sessions: HELLOs establish, everything else must
+        // open under the live session. Refusals cost a Nak transmission.
+        let plain: Vec<u8> = if let Some(fnc) = self.fence.as_mut() {
+            if fence::is_hello(&frame.payload) {
+                if fnc.on_hello(&self.cfg.serial, &frame.payload) {
+                    let ack = Response::Ack.to_payload();
+                    let sealed = fnc
+                        .session
+                        .as_mut()
+                        .expect("session exists after accepted HELLO")
+                        .seal(&ack);
+                    self.schedule_reply(sealed, ack, end_tick);
+                } else {
+                    self.stats.auth_rejects += 1;
+                    let nak = Response::Nak.to_payload();
+                    self.schedule_reply(nak.clone(), nak, end_tick);
+                }
+                return;
+            }
+            match fnc.session.as_mut().map(|s| s.open(&frame.payload)) {
+                Some(Ok(pt)) => pt,
+                _ => {
+                    self.stats.auth_rejects += 1;
+                    let nak = Response::Nak.to_payload();
+                    self.schedule_reply(nak.clone(), nak, end_tick);
+                    return;
+                }
+            }
+        } else {
+            frame.payload.clone()
+        };
+
+        let Some(cmd) = Command::from_payload(&plain) else {
             return;
         };
         self.stats.commands_executed += 1;
-        if self.last_cmd_payload.as_deref() == Some(&frame.payload[..]) {
+        if self.last_cmd_payload.as_deref() == Some(&plain[..]) {
             self.stats.duplicate_commands += 1;
         }
-        self.last_cmd_payload = Some(frame.payload.clone());
-        let response = self.execute(cmd);
+        self.last_cmd_payload = Some(plain);
+        let mut response = self.execute(cmd);
+        if self.fence.is_some() {
+            // Sealing costs 4 bytes of the 10-byte frame: bulk telemetry
+            // chunks shrink to fit. The confidentiality tax is measured
+            // (smaller chunks, more exchanges), not hidden.
+            if let Response::Data { bytes, .. } = &mut response {
+                bytes.truncate(hb_crypto::micro::MAX_PT - 3);
+            }
+        }
+        let truth = response.to_payload();
+        let wire = match self.fence.as_mut().and_then(|f| f.session.as_mut()) {
+            Some(sess) => sess.seal(&truth),
+            None => truth.clone(),
+        };
+        self.schedule_reply(wire, truth, end_tick);
+    }
 
-        // Build and schedule the reply. Per Fig. 3 the reply starts a
-        // device-specific fixed interval after the command ends; the shield
-        // only assumes it lies within [T1, T2]. We draw per-response jitter
-        // inside that window around the ~3.5 ms typical latency.
+    /// Draws the reply-window delay and schedules `payload` as a Response
+    /// frame ending the exchange that finished at `end_tick`. `truth` is
+    /// the logical plaintext logged for the omniscient leak metrics
+    /// (equal to `payload` on an open device).
+    ///
+    /// Per Fig. 3 the reply starts a device-specific fixed interval after
+    /// the command ends; the shield only assumes it lies within [T1, T2].
+    /// We draw per-response jitter inside that window around the ~3.5 ms
+    /// typical latency.
+    fn schedule_reply(&mut self, payload: Vec<u8>, truth: Vec<u8>, end_tick: u64) {
         let delay_s = self
             .rng
             .gen_range(self.cfg.reply.t1_s..=self.cfg.reply.t2_s);
         let delay_samples = (delay_s * self.cfg.fsk.fs_hz).round() as u64;
 
         self.seq = self.seq.wrapping_add(1);
-        let reply = Frame::new(
-            self.cfg.serial,
-            FrameType::Response,
-            self.seq,
-            response.to_payload(),
-        );
+        let reply = Frame::new(self.cfg.serial, FrameType::Response, self.seq, payload);
         let bits = reply.to_bits();
         let mut wave = self.modem.modulate(&bits);
         let amplitude = ratio_from_db(self.cfg.tx_power_dbm).sqrt();
@@ -244,7 +357,11 @@ impl ImdDevice {
             *s = s.scale(amplitude);
         }
         let start_tick = end_tick + delay_samples;
-        self.tx_log.push(TxRecord { start_tick, bits });
+        self.tx_log.push(TxRecord {
+            start_tick,
+            bits,
+            payload: truth,
+        });
         self.tx.schedule(start_tick, self.cfg.channel, wave);
         self.stats.responses_sent += 1;
     }
@@ -294,7 +411,7 @@ mod tests {
 
     const CH: usize = 0;
 
-    fn setup() -> (Medium, ImdDevice, AntennaId) {
+    fn setup_with(cfg: ImdConfig) -> (Medium, ImdDevice, AntennaId) {
         let mut medium = Medium::new(
             MediumConfig {
                 noise_floor_dbm: -130.0,
@@ -307,12 +424,38 @@ mod tests {
         // Strong symmetric link so decoding is easy in unit tests.
         medium.set_gain(imd_ant, prog_ant, C64::new(0.1, 0.0));
         medium.set_gain(prog_ant, imd_ant, C64::new(0.1, 0.0));
-        let imd = ImdDevice::new(
-            ImdConfig::virtuoso_icd(CH),
-            imd_ant,
-            StdRng::seed_from_u64(7),
-        );
+        let imd = ImdDevice::new(cfg, imd_ant, StdRng::seed_from_u64(7));
         (medium, imd, prog_ant)
+    }
+
+    fn setup() -> (Medium, ImdDevice, AntennaId) {
+        setup_with(ImdConfig::virtuoso_icd(CH))
+    }
+
+    /// Sends a raw Command-frame payload and returns the samples received
+    /// back at the programmer antenna after the command's air time.
+    fn send_payload(
+        medium: &mut Medium,
+        imd: &mut ImdDevice,
+        prog_ant: AntennaId,
+        payload: Vec<u8>,
+        run_blocks: u64,
+    ) -> Vec<C64> {
+        let modem = FskModem::new(imd.config().fsk);
+        let frame = Frame::new(imd.config().serial, FrameType::Command, 9, payload);
+        let wave = modem.modulate(&frame.to_bits());
+        let cmd_len = wave.len();
+        let mut sched = TxScheduler::new();
+        sched.schedule(medium.tick(), CH, wave);
+        let mut rx = Vec::new();
+        for _ in 0..run_blocks {
+            sched.produce(prog_ant, medium);
+            imd.produce(medium);
+            imd.consume(medium);
+            rx.extend(medium.receive(prog_ant, CH));
+            medium.end_block();
+        }
+        rx.split_off(cmd_len)
     }
 
     /// Sends `cmd` from `prog_ant` and runs until the IMD's reply (if any)
@@ -486,6 +629,106 @@ mod tests {
         let before = imd.battery().radio_energy_j();
         run_exchange(&mut medium, &mut imd, prog_ant, Command::Interrogate, 3_000);
         assert!(imd.battery().radio_energy_j() > before);
+    }
+
+    #[test]
+    fn authenticated_device_naks_plaintext_and_accepts_sealed() {
+        use crate::fence;
+        use hb_crypto::micro::MicroSession;
+        let master = [0x42u8; 32];
+        let mut cfg = ImdConfig::virtuoso_icd(CH);
+        cfg.security = crate::models::SecurityMode::Authenticated { key: master };
+        let (mut medium, mut imd, prog_ant) = setup_with(cfg);
+        let modem = FskModem::new(imd.config().fsk);
+
+        // 1. Plaintext command: refused with a plaintext Nak, not executed.
+        let rx = send_payload(
+            &mut medium,
+            &mut imd,
+            prog_ant,
+            Command::Interrogate.to_payload(),
+            3_000,
+        );
+        assert_eq!(imd.stats.commands_executed, 0);
+        assert_eq!(imd.stats.auth_rejects, 1);
+        let frame = modem.receive_frame(&rx).expect("nak decodes");
+        assert_eq!(Response::from_payload(&frame.payload), Some(Response::Nak));
+
+        // 2. HELLO: establishes the session; the Ack comes back sealed.
+        let serial = imd.config().serial;
+        let rx = send_payload(
+            &mut medium,
+            &mut imd,
+            prog_ant,
+            fence::hello_payload(&master, &serial, 1),
+            3_000,
+        );
+        let mut prog_sess = MicroSession::programmer_side(fence::session_key(&master, 1));
+        let frame = modem.receive_frame(&rx).expect("hello ack decodes");
+        assert_eq!(
+            Response::from_payload(&frame.payload),
+            None,
+            "sealed ack must not parse as plaintext"
+        );
+        assert_eq!(
+            prog_sess.open(&frame.payload).expect("ack opens"),
+            Response::Ack.to_payload()
+        );
+
+        // 3. Sealed command: executed, reply opens under the session.
+        let mut cmd_sess = MicroSession::programmer_side(fence::session_key(&master, 1));
+        let sealed = cmd_sess.seal(&Command::Interrogate.to_payload());
+        let rx = send_payload(&mut medium, &mut imd, prog_ant, sealed, 3_000);
+        assert_eq!(imd.stats.commands_executed, 1);
+        let frame = modem.receive_frame(&rx).expect("sealed reply decodes");
+        let pt = prog_sess.open(&frame.payload).expect("reply opens");
+        assert!(matches!(
+            Response::from_payload(&pt),
+            Some(Response::Status { .. })
+        ));
+    }
+
+    #[test]
+    fn wake_gate_blocks_commands_until_token() {
+        use crate::wakeup::{wake_token, WakeConfig};
+        let key = [0x21u8; 32];
+        let mut cfg = ImdConfig::virtuoso_icd(CH);
+        cfg.wake = Some(WakeConfig::new(key));
+        let (mut medium, mut imd, prog_ant) = setup_with(cfg);
+
+        // Asleep: a valid addressed command is not decoded, not answered,
+        // and costs no transmit energy.
+        send_payload(
+            &mut medium,
+            &mut imd,
+            prog_ant,
+            Command::Interrogate.to_payload(),
+            3_000,
+        );
+        assert_eq!(imd.stats.commands_executed, 0);
+        assert_eq!(imd.stats.responses_sent, 0);
+        assert!(imd.stats.wake_dropped >= 1);
+        assert_eq!(imd.battery().radio_energy_j(), 0.0);
+
+        // Token, then the same command inside the window: normal service.
+        let serial = imd.config().serial;
+        send_payload(
+            &mut medium,
+            &mut imd,
+            prog_ant,
+            wake_token(&key, &serial, 1),
+            1_000,
+        );
+        assert_eq!(imd.stats.wake_tokens_accepted, 1);
+        send_payload(
+            &mut medium,
+            &mut imd,
+            prog_ant,
+            Command::Interrogate.to_payload(),
+            3_000,
+        );
+        assert_eq!(imd.stats.commands_executed, 1);
+        assert_eq!(imd.stats.responses_sent, 1);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! IMDfence-style session establishment on the device side.
+//!
+//! When an IMD runs with
+//! [`SecurityMode::Authenticated`](crate::models::SecurityMode), its
+//! command interface speaks a two-step protocol inside the 10-byte MICS
+//! payload budget:
+//!
+//! 1. **HELLO** — `| 0x41 | nonce 1B | tag 4B |`, MAC'd under the shared
+//!    master key and bound to the device serial. A fresh, authentic
+//!    HELLO derives a per-session key
+//!    (`derive_key(master, "imdfence", nonce)`) and resets both
+//!    directions' [`MicroSession`] counters; the device acknowledges
+//!    with a *sealed* Ack so the programmer can confirm key agreement.
+//! 2. **Sealed traffic** — every subsequent command must open under the
+//!    session ([`hb_crypto::micro`] wire format) and every reply goes
+//!    back sealed.
+//!
+//! Anything that fails — stale nonce, bad tag, plaintext command, wrong
+//! session — is refused with a plaintext Nak. The explicit refusal is
+//! deliberate: it is what real protocol stacks do, and its transmit
+//! cost is exactly the battery-drain exposure the defense matrix
+//! measures for this defense (contrast with the wake-up gate, which
+//! spends nothing).
+
+use hb_crypto::micro::{token_tag, MicroSession, TOKEN_TAG_LEN};
+use hb_phy::packet::Serial;
+
+/// Reserved opcode marking a HELLO payload (outside the command space).
+pub const HELLO_OPCODE: u8 = 0x41;
+
+/// HELLO payload length: opcode + nonce + 32-bit tag.
+pub const HELLO_LEN: usize = 2 + TOKEN_TAG_LEN;
+
+/// KDF label for HELLO authentication tags.
+const HELLO_LABEL: &[u8] = b"hello";
+
+/// KDF label for per-session keys.
+const SESSION_LABEL: &[u8] = b"imdfence";
+
+/// Builds the HELLO payload opening a session with `serial`.
+pub fn hello_payload(master: &[u8; 32], serial: &Serial, nonce: u8) -> Vec<u8> {
+    let tag = token_tag(master, HELLO_LABEL, nonce, &serial.0);
+    let mut payload = Vec::with_capacity(HELLO_LEN);
+    payload.push(HELLO_OPCODE);
+    payload.push(nonce);
+    payload.extend_from_slice(&tag);
+    payload
+}
+
+/// True if `payload` is shaped like a HELLO (handshake traffic).
+pub fn is_hello(payload: &[u8]) -> bool {
+    payload.first() == Some(&HELLO_OPCODE)
+}
+
+/// The per-session key both ends derive from an accepted HELLO.
+pub fn session_key(master: &[u8; 32], nonce: u8) -> [u8; 32] {
+    hb_crypto::micro::derive_key(master, SESSION_LABEL, &[nonce])
+}
+
+/// Device-side handshake state: the master key, replay floor for HELLO
+/// nonces, and the live session (if any).
+#[derive(Debug, Clone)]
+pub struct FenceState {
+    master: [u8; 32],
+    last_hello: Option<u8>,
+    /// The established session; `None` until a HELLO is accepted.
+    pub session: Option<MicroSession>,
+}
+
+impl FenceState {
+    /// Fresh state with no session.
+    pub fn new(master: [u8; 32]) -> Self {
+        FenceState {
+            master,
+            last_hello: None,
+            session: None,
+        }
+    }
+
+    /// Offers a received HELLO payload. On success the session is
+    /// (re-)established and `true` is returned; replayed nonces and bad
+    /// tags leave existing state untouched.
+    pub fn on_hello(&mut self, serial: &Serial, payload: &[u8]) -> bool {
+        if payload.len() != HELLO_LEN || payload[0] != HELLO_OPCODE {
+            return false;
+        }
+        let nonce = payload[1];
+        if self.last_hello.is_some_and(|last| nonce <= last) {
+            return false;
+        }
+        let expect = token_tag(&self.master, HELLO_LABEL, nonce, &serial.0);
+        if payload[2..] != expect {
+            return false;
+        }
+        self.last_hello = Some(nonce);
+        self.session = Some(MicroSession::device_side(session_key(&self.master, nonce)));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MASTER: [u8; 32] = [5u8; 32];
+
+    fn serial() -> Serial {
+        Serial::from_str_padded("VIRTUOSO01")
+    }
+
+    #[test]
+    fn hello_establishes_and_keys_agree() {
+        let mut dev = FenceState::new(MASTER);
+        assert!(dev.session.is_none());
+        let hello = hello_payload(&MASTER, &serial(), 1);
+        assert!(dev.on_hello(&serial(), &hello));
+
+        // Programmer derives the same key: sealed traffic round-trips.
+        let mut prog = MicroSession::programmer_side(session_key(&MASTER, 1));
+        let wire = prog.seal(&[0x10]);
+        assert_eq!(dev.session.as_mut().unwrap().open(&wire).unwrap(), [0x10]);
+    }
+
+    #[test]
+    fn replayed_or_forged_hello_rejected() {
+        let mut dev = FenceState::new(MASTER);
+        let hello = hello_payload(&MASTER, &serial(), 1);
+        assert!(dev.on_hello(&serial(), &hello));
+        assert!(!dev.on_hello(&serial(), &hello), "nonce replay");
+        let forged = hello_payload(&[6u8; 32], &serial(), 2);
+        assert!(!dev.on_hello(&serial(), &forged), "wrong master key");
+        let other = hello_payload(&MASTER, &Serial::from_str_padded("CONCERTO02"), 2);
+        assert!(!dev.on_hello(&serial(), &other), "bound to another serial");
+    }
+
+    #[test]
+    fn rehello_rolls_the_session_key() {
+        let mut dev = FenceState::new(MASTER);
+        assert!(dev.on_hello(&serial(), &hello_payload(&MASTER, &serial(), 1)));
+        assert!(dev.on_hello(&serial(), &hello_payload(&MASTER, &serial(), 2)));
+        // Traffic sealed under the first session no longer opens.
+        let mut old = MicroSession::programmer_side(session_key(&MASTER, 1));
+        let wire = old.seal(&[0x10]);
+        assert!(dev.session.as_mut().unwrap().open(&wire).is_err());
+    }
+
+    #[test]
+    fn hello_fits_the_frame_budget() {
+        assert!(hello_payload(&MASTER, &serial(), 9).len() <= hb_phy::packet::MAX_PAYLOAD);
+    }
+}

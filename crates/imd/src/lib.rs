@@ -15,6 +15,10 @@
 //! * [`commands`] — the command/response wire protocol.
 //! * [`arq`] — link-layer exchange tracking: reply timeout, bounded
 //!   retries, deterministic backoff (the resilience machinery).
+//! * [`fence`] — IMDfence-style authenticated sessions (device side):
+//!   HELLO handshake + sealed commands inside the MICS frame budget.
+//! * [`wakeup`] — zero-power wake-up gate: the main radio stays off
+//!   until an authenticated wake token arrives (battery-DoS defense).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,14 +27,17 @@ pub mod arq;
 pub mod battery;
 pub mod commands;
 pub mod device;
+pub mod fence;
 pub mod models;
 pub mod programmer;
 pub mod telemetry;
 pub mod therapy;
+pub mod wakeup;
 
 pub use arq::{ArqAction, ArqConfig, ArqStats, ArqTracker};
 pub use commands::{Command, Response};
 pub use device::{ImdDevice, ImdStats};
-pub use models::ImdConfig;
+pub use models::{ImdConfig, SecurityMode};
 pub use programmer::{Programmer, ProgrammerConfig};
 pub use therapy::TherapyParams;
+pub use wakeup::WakeConfig;

@@ -8,6 +8,7 @@
 //! "since the two IMDs did not show any significant difference" (§10) —
 //! our experiments run both and do the same.
 
+use crate::wakeup::WakeConfig;
 use hb_mics::timing::ReplyTiming;
 use hb_phy::fsk::FskParams;
 use hb_phy::packet::Serial;
@@ -18,6 +19,27 @@ pub mod model_code {
     pub const VIRTUOSO_ICD: u8 = 0x01;
     /// Concerto CRT-D.
     pub const CONCERTO_CRT: u8 = 0x02;
+}
+
+/// Protocol-layer security posture of the command interface.
+///
+/// The paper's stock devices are [`SecurityMode::Open`] — that is the
+/// whole premise of the shield. The alternative defenses in
+/// `hb_testbed::defense` flip this to model an IMDfence-style firmware
+/// that refuses unauthenticated traffic.
+#[derive(Debug, Clone)]
+pub enum SecurityMode {
+    /// Stock firmware: plaintext commands executed as received.
+    Open,
+    /// IMDfence-style sessions: a handshake authenticated by `key`
+    /// derives a per-session key; commands must arrive sealed under it
+    /// ([`hb_crypto::micro`]) and replies go back sealed. Anything that
+    /// fails to authenticate is refused with a Nak — an explicit,
+    /// energy-costing rejection the defense matrix measures.
+    Authenticated {
+        /// Master key shared with authorized programmers.
+        key: [u8; 32],
+    },
 }
 
 /// Static configuration of an IMD.
@@ -39,6 +61,11 @@ pub struct ImdConfig {
     pub channel: usize,
     /// FSK air-interface parameters.
     pub fsk: FskParams,
+    /// Protocol-layer security posture (stock devices: [`SecurityMode::Open`]).
+    pub security: SecurityMode,
+    /// Zero-power wake-up gate, if fitted: the main radio stays off until
+    /// an authenticated wake token arrives (`None` on stock devices).
+    pub wake: Option<WakeConfig>,
 }
 
 impl ImdConfig {
@@ -51,6 +78,8 @@ impl ImdConfig {
             reply: ReplyTiming::medtronic_measured(),
             channel,
             fsk: FskParams::mics_default(),
+            security: SecurityMode::Open,
+            wake: None,
         }
     }
 

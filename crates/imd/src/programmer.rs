@@ -30,6 +30,19 @@ pub struct ReceivedResponse {
     pub end_tick: Tick,
 }
 
+/// A raw Response frame received by the programmer, before any payload
+/// interpretation — what a secured exchange works from, since sealed
+/// replies do not parse as plaintext [`Response`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceivedFrame {
+    /// Frame sequence number.
+    pub seq: u8,
+    /// Raw payload bytes as they crossed the air.
+    pub payload: Vec<u8>,
+    /// Tick at which the frame ended.
+    pub end_tick: Tick,
+}
+
 /// Programmer configuration.
 #[derive(Debug, Clone)]
 pub struct ProgrammerConfig {
@@ -69,6 +82,9 @@ pub struct Programmer {
     silence: Vec<hb_dsp::C64>,
     /// Responses received, in arrival order.
     pub inbox: Vec<ReceivedResponse>,
+    /// Every CRC-valid Response frame, in arrival order, payload
+    /// untouched (sealed replies land here and nowhere else).
+    pub raw_inbox: Vec<ReceivedFrame>,
     /// Commands transmitted (count).
     pub commands_sent: u64,
 }
@@ -90,6 +106,7 @@ impl Programmer {
             seq: 0,
             silence: Vec::new(),
             inbox: Vec::new(),
+            raw_inbox: Vec::new(),
             commands_sent: 0,
         }
     }
@@ -132,14 +149,39 @@ impl Programmer {
         self.commands_sent += 1;
     }
 
+    /// Schedules an arbitrary Command-frame payload at `start_tick` —
+    /// the transmit path for handshake HELLOs, wake tokens, and sealed
+    /// commands, which are not plaintext [`Command`]s.
+    pub fn send_payload_at(&mut self, start_tick: Tick, serial: Serial, payload: Vec<u8>) {
+        self.seq = self.seq.wrapping_add(1);
+        let frame = Frame::new(serial, FrameType::Command, self.seq, payload);
+        let mut wave = self.modem.modulate(&frame.to_bits());
+        let amplitude = ratio_from_db(self.cfg.tx_power_dbm).sqrt();
+        for s in wave.iter_mut() {
+            *s = s.scale(amplitude);
+        }
+        self.tx.schedule(start_tick, self.cfg.channel, wave);
+        self.commands_sent += 1;
+    }
+
     /// End tick of the most recently scheduled transmission.
     pub fn tx_end_tick(&self) -> Option<Tick> {
         self.tx.end_tick()
     }
 
+    /// True while the programmer's transmitter is on at `tick`.
+    pub fn transmitting(&self, tick: Tick) -> bool {
+        self.tx.busy_at(tick)
+    }
+
     /// Drains received responses.
     pub fn take_responses(&mut self) -> Vec<ReceivedResponse> {
         std::mem::take(&mut self.inbox)
+    }
+
+    /// Drains raw received Response frames.
+    pub fn take_raw(&mut self) -> Vec<ReceivedFrame> {
+        std::mem::take(&mut self.raw_inbox)
     }
 }
 
@@ -179,6 +221,11 @@ impl Node for Programmer {
             } = e
             {
                 if frame.frame_type == FrameType::Response {
+                    self.raw_inbox.push(ReceivedFrame {
+                        seq: frame.seq,
+                        payload: frame.payload.clone(),
+                        end_tick,
+                    });
                     if let Some(response) = Response::from_payload(&frame.payload) {
                         self.inbox.push(ReceivedResponse {
                             response,

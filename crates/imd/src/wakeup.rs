@@ -1,0 +1,182 @@
+//! Zero-power wake-up gate: the battery-DoS defense.
+//!
+//! The battery-depletion attack (Fig. 11, and the `battery` experiment)
+//! works because a stock IMD's receiver is always on and every valid
+//! command costs a transmitted reply. The wake-up-radio literature cuts
+//! that loop with a separate, passively-powered receiver that does
+//! exactly one thing: match an *authenticated wake token*. Until one
+//! arrives, the main radio is off — commands are not decoded, no replies
+//! are sent, no stats are kept, and the battery spends nothing on the
+//! attacker's traffic.
+//!
+//! The gate is modeled at the frame layer: while closed, the only frame
+//! the device reacts to is a token payload
+//! `| 0x40 | ctr 1B | tag 4B |` addressed to its serial, whose tag is a
+//! truncated Poly1305 MAC under a key derived from the wake key and the
+//! counter ([`hb_crypto::micro::token_tag`]). Counters are strictly
+//! increasing, so a token heard over the air cannot be replayed to
+//! re-open the gate. An accepted token opens the main radio for
+//! [`WakeConfig::window_s`]; traffic inside the window is whatever the
+//! firmware speaks — for a stock
+//! [`SecurityMode::Open`](crate::models::SecurityMode::Open) device that
+//! is *plaintext*, which is precisely the eavesdropping/forgery residue
+//! the defense matrix measures against this defense.
+
+use hb_crypto::micro::{token_tag, TOKEN_TAG_LEN};
+use hb_phy::packet::Serial;
+
+/// Reserved opcode marking a wake-token payload. Outside the command
+/// opcode space, so stock firmware (no gate) silently ignores tokens.
+pub const WAKE_OPCODE: u8 = 0x40;
+
+/// Wake-token payload length: opcode + counter + 32-bit tag.
+pub const TOKEN_LEN: usize = 2 + TOKEN_TAG_LEN;
+
+/// KDF label separating wake-token keys from everything else.
+const LABEL: &[u8] = b"wake";
+
+/// Configuration of a fitted wake-up receiver.
+#[derive(Debug, Clone)]
+pub struct WakeConfig {
+    /// Key shared with authorized programmers' wake transmitters.
+    pub key: [u8; 32],
+    /// How long the main radio stays on after an accepted token, seconds.
+    pub window_s: f64,
+}
+
+impl WakeConfig {
+    /// A gate keyed with `key` and the default 250 ms window — enough
+    /// for a full command/reply exchange with margin, short enough that
+    /// a drain attacker who merely *observed* a session gets little.
+    pub fn new(key: [u8; 32]) -> Self {
+        WakeConfig {
+            key,
+            window_s: 0.25,
+        }
+    }
+}
+
+/// Builds the wake-token payload for `serial` with counter `ctr`.
+pub fn wake_token(key: &[u8; 32], serial: &Serial, ctr: u8) -> Vec<u8> {
+    let tag = token_tag(key, LABEL, ctr, &serial.0);
+    let mut payload = Vec::with_capacity(TOKEN_LEN);
+    payload.push(WAKE_OPCODE);
+    payload.push(ctr);
+    payload.extend_from_slice(&tag);
+    payload
+}
+
+/// True if `payload` is shaped like a wake token (gate traffic, never a
+/// command).
+pub fn is_wake_payload(payload: &[u8]) -> bool {
+    payload.first() == Some(&WAKE_OPCODE)
+}
+
+/// The gate state machine the device consults per received frame.
+#[derive(Debug, Clone)]
+pub struct WakeGate {
+    cfg: WakeConfig,
+    serial: Serial,
+    window_ticks: u64,
+    last_ctr: Option<u8>,
+    awake_until: Option<u64>,
+}
+
+impl WakeGate {
+    /// A closed gate for the device `serial`, with the token window
+    /// converted to ticks at the air interface's sample rate.
+    pub fn new(cfg: WakeConfig, serial: Serial, fs_hz: f64) -> Self {
+        let window_ticks = (cfg.window_s * fs_hz).round() as u64;
+        WakeGate {
+            cfg,
+            serial,
+            window_ticks,
+            last_ctr: None,
+            awake_until: None,
+        }
+    }
+
+    /// Is the main radio on at `tick`?
+    pub fn awake(&self, tick: u64) -> bool {
+        self.awake_until.is_some_and(|until| tick < until)
+    }
+
+    /// Offers a received payload to the wake receiver at `tick`. A
+    /// fresh, authentic token (re-)opens the window and returns true.
+    pub fn try_wake(&mut self, payload: &[u8], tick: u64) -> bool {
+        if payload.len() != TOKEN_LEN || payload[0] != WAKE_OPCODE {
+            return false;
+        }
+        let ctr = payload[1];
+        if self.last_ctr.is_some_and(|last| ctr <= last) {
+            return false;
+        }
+        let expect = token_tag(&self.cfg.key, LABEL, ctr, &self.serial.0);
+        if payload[2..] != expect {
+            return false;
+        }
+        self.last_ctr = Some(ctr);
+        self.awake_until = Some(tick + self.window_ticks);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 32] = [3u8; 32];
+    const FS: f64 = 300e3;
+
+    fn gate() -> WakeGate {
+        WakeGate::new(
+            WakeConfig::new(KEY),
+            Serial::from_str_padded("VIRTUOSO01"),
+            FS,
+        )
+    }
+
+    #[test]
+    fn starts_closed_and_opens_on_valid_token() {
+        let mut g = gate();
+        assert!(!g.awake(0));
+        let token = wake_token(&KEY, &Serial::from_str_padded("VIRTUOSO01"), 1);
+        assert!(g.try_wake(&token, 1_000));
+        assert!(g.awake(1_001));
+        // Window is 0.25 s = 75 000 ticks.
+        assert!(g.awake(1_000 + 74_999));
+        assert!(!g.awake(1_000 + 75_000));
+    }
+
+    #[test]
+    fn replayed_token_does_not_reopen() {
+        let mut g = gate();
+        let token = wake_token(&KEY, &Serial::from_str_padded("VIRTUOSO01"), 1);
+        assert!(g.try_wake(&token, 0));
+        assert!(!g.try_wake(&token, 200_000), "same counter must be dead");
+        let next = wake_token(&KEY, &Serial::from_str_padded("VIRTUOSO01"), 2);
+        assert!(g.try_wake(&next, 200_000));
+    }
+
+    #[test]
+    fn wrong_key_serial_or_tamper_rejected() {
+        let mut g = gate();
+        let wrong_key = wake_token(&[9u8; 32], &Serial::from_str_padded("VIRTUOSO01"), 1);
+        assert!(!g.try_wake(&wrong_key, 0));
+        let wrong_serial = wake_token(&KEY, &Serial::from_str_padded("CONCERTO02"), 1);
+        assert!(!g.try_wake(&wrong_serial, 0));
+        let mut bent = wake_token(&KEY, &Serial::from_str_padded("VIRTUOSO01"), 1);
+        bent[3] ^= 1;
+        assert!(!g.try_wake(&bent, 0));
+        assert!(!g.awake(0));
+    }
+
+    #[test]
+    fn non_token_payloads_are_ignored() {
+        let mut g = gate();
+        assert!(!g.try_wake(&[0x10], 0)); // Interrogate opcode
+        assert!(!g.try_wake(&[], 0));
+        assert!(!is_wake_payload(&[0x10]));
+        assert!(is_wake_payload(&[WAKE_OPCODE, 0, 0, 0, 0, 0]));
+    }
+}

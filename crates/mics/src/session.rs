@@ -100,6 +100,22 @@ impl SessionNegotiator {
         }
     }
 
+    /// Starts negotiating with listen-before-talk on `channel` first —
+    /// for drivers that must acquire a *specific* session channel before
+    /// transmitting (e.g. an authenticated programmer whose implant is
+    /// parked on that channel), rather than the first quiet one.
+    pub fn scanning_from(cfg: SessionConfig, channel: MicsChannel) -> Self {
+        SessionNegotiator {
+            state: SessionState::Listening {
+                monitor: LbtMonitor::new(channel, cfg.cca_threshold_dbm),
+                rejected: Vec::new(),
+            },
+            cfg,
+            sessions_established: 0,
+            interference_moves: 0,
+        }
+    }
+
     /// Current state.
     pub fn state(&self) -> &SessionState {
         &self.state
@@ -202,6 +218,22 @@ mod tests {
         assert!(n.established());
         assert_eq!(n.current_channel(), Some(MicsChannel(0)));
         assert_eq!(n.sessions_established, 1);
+    }
+
+    #[test]
+    fn scanning_from_listens_on_the_requested_channel_first() {
+        let mut n = SessionNegotiator::scanning_from(SessionConfig::default(), MicsChannel(4));
+        assert!(!n.established());
+        assert_eq!(n.current_channel(), Some(MicsChannel(4)));
+        for _ in 0..10 {
+            n.observe(quiet(), 1e-3);
+        }
+        assert!(n.established());
+        assert_eq!(n.current_channel(), Some(MicsChannel(4)));
+        // Busy target channel: falls back to the normal scan order.
+        let mut n = SessionNegotiator::scanning_from(SessionConfig::default(), MicsChannel(4));
+        n.observe(busy(), 1e-3);
+        assert_eq!(n.current_channel(), Some(MicsChannel(0)));
     }
 
     #[test]

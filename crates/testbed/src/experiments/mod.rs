@@ -25,9 +25,11 @@
 //! | [`hospital`] | Extension: 50 shielded patients (100 devices) on one hospital floor |
 //! | [`mobile`] | Extension: adversary walking a path through the layout |
 //! | [`resilience`] | Extension: resilience matrix — ARQ + session recovery vs channel faults |
+//! | [`defense_matrix`] | Extension: defense matrix — adversary suite × {shield, IMDfence, wake-up radio} |
 
 pub mod ablation;
 pub mod battery;
+pub mod defense_matrix;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

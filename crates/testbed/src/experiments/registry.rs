@@ -21,7 +21,7 @@
 //!   [`Artifact`] with its canonical `results/` file stem
 //!   ([`file_stem`]), so every driver names output files identically.
 
-use super::{ablation, battery, fig10, fig11, fig12, fig13};
+use super::{ablation, battery, defense_matrix, fig10, fig11, fig12, fig13};
 use super::{fig3, fig4, fig5, fig7, fig8, fig9};
 use super::{hospital, mobile, resilience, table1, table2, ward, Effort};
 use crate::checkpoint::{self, RunCtl, RunHealth};
@@ -103,6 +103,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &mobile::MobileExperiment,
     &crate::crosstraffic::CrossTrafficExperiment,
     &resilience::ResilienceExperiment,
+    &defense_matrix::DefenseMatrixExperiment,
 ];
 
 /// The full registry, in canonical order.
@@ -182,6 +183,6 @@ mod tests {
         let names: Vec<&str> = REGISTRY.iter().map(|e| e.name()).collect();
         assert_eq!(&names[..3], &["fig3", "fig4", "fig5"]);
         assert_eq!(names[10], "table1");
-        assert_eq!(*names.last().unwrap(), "resilience-matrix");
+        assert_eq!(*names.last().unwrap(), "defense-matrix");
     }
 }

@@ -11,6 +11,10 @@
 //! * [`recovery`] — the adversity-hardened exchange driver: link-layer
 //!   ARQ (timeout/backoff/bounded retries) plus live MICS session
 //!   recovery onto a clean channel under persistent interference.
+//! * [`defense`] — the defense matrix: alternative IMD-security
+//!   protocols (the paper's shield, IMDfence-style in-device sessions,
+//!   zero-power wake-up gating) behind one [`defense::Defense`] trait so
+//!   the full adversary suite runs against each.
 //! * [`montecarlo`] — the adaptive sampling engine: grows trial counts in
 //!   deterministic rounds until Wilson/bootstrap confidence intervals hit
 //!   a target half-width (the statistical experiments ride it).
@@ -25,6 +29,7 @@
 
 pub mod checkpoint;
 pub mod crosstraffic;
+pub mod defense;
 pub mod experiments;
 pub mod layout;
 pub mod montecarlo;
@@ -34,6 +39,7 @@ pub mod report;
 pub mod scenario;
 
 pub use checkpoint::{RunCtl, RunHealth};
+pub use defense::{run_defended_exchange, Defense, DefenseClaims, DefenseRig, DefenseStats};
 pub use experiments::registry::{EvalCtx, Experiment};
 pub use experiments::Effort;
 pub use layout::Fig6Layout;

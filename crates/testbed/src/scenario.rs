@@ -16,7 +16,8 @@ use hb_channel::medium::{AntennaId, Medium, MediumConfig};
 use hb_channel::pathloss::PathlossModel;
 use hb_channel::sim::Node;
 use hb_imd::device::ImdDevice;
-use hb_imd::models::ImdConfig;
+use hb_imd::models::{ImdConfig, SecurityMode};
+use hb_imd::wakeup::WakeConfig;
 use hb_shield::shield::{Shield, ShieldConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -81,6 +82,14 @@ pub struct ScenarioConfig {
     /// every installed shield's [`ShieldConfig::outage`]. The default
     /// ([`FaultPlan::none`]) is bit-identical to a fault-free build.
     pub fault: FaultPlan,
+    /// Protocol-security posture of the primary implant's firmware. The
+    /// paper default ([`SecurityMode::Open`]) leaves the device exactly
+    /// as the golden-pinned engine models it; the defense experiments
+    /// flip it to study IMDfence-style in-device sessions.
+    pub imd_security: SecurityMode,
+    /// Zero-power wake-up gate on the primary implant (`None`, the paper
+    /// default, is the stock always-on receiver).
+    pub imd_wake: Option<WakeConfig>,
 }
 
 impl ScenarioConfig {
@@ -99,6 +108,8 @@ impl ScenarioConfig {
             shield_body_coupling_db: 21.0,
             cull_margin_db: f64::NEG_INFINITY,
             fault: FaultPlan::none(),
+            imd_security: SecurityMode::Open,
+            imd_wake: None,
         }
     }
 
@@ -244,16 +255,21 @@ impl ScenarioBuilder {
         self.medium.add_antenna(placement)
     }
 
+    /// The configuration this builder was started with (defense installers
+    /// read the session channel and device identity from here).
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
     /// Finalizes: draws all link gains and constructs the devices.
     pub fn build(mut self) -> Scenario {
         self.medium.build_links(&self.cfg.pathloss, self.cfg.fading);
         self.medium
             .set_noise_floor_dbm(self.imd_ant, self.cfg.imd_noise_floor_dbm);
-        let imd = ImdDevice::new(
-            self.cfg.imd_model.config(self.cfg.channel),
-            self.imd_ant,
-            StdRng::seed_from_u64(self.rng.gen()),
-        );
+        let mut imd_cfg = self.cfg.imd_model.config(self.cfg.channel);
+        imd_cfg.security = self.cfg.imd_security.clone();
+        imd_cfg.wake = self.cfg.imd_wake.clone();
+        let imd = ImdDevice::new(imd_cfg, self.imd_ant, StdRng::seed_from_u64(self.rng.gen()));
         let patients = self
             .patients
             .into_iter()

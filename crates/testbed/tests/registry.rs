@@ -32,6 +32,7 @@ const EXPECTED: &[&str] = &[
     "mobile-adversary",
     "crosstraffic",
     "resilience-matrix",
+    "defense-matrix",
 ];
 
 fn is_kebab_case(s: &str) -> bool {
@@ -59,8 +60,8 @@ fn every_module_registered_exactly_once() {
         "unexpected registry entries: {names:?}"
     );
     assert!(
-        names.len() >= 17,
-        "the registry must keep the 15 ported + 2 scenario experiments"
+        names.len() >= 24,
+        "the registry must keep all ported, ablation, and extension experiments"
     );
 }
 
